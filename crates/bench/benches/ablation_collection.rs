@@ -1,0 +1,40 @@
+//! **Ablation A5 — collection trigger: departure hand-off vs periodic push.**
+//!
+//! The paper collects L1 tables when a custodian *leaves* the center intersection
+//! (§2.2.2); a periodic push is the obvious engineering alternative. This bench
+//! quantifies the difference in collection overhead, query success, and latency.
+
+use criterion::Criterion;
+use hlsrg::CollectionMode;
+use std::hint::black_box;
+use vanet_scenario::{replicate_averaged, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let reps = 5;
+    println!("\nAblation A5 — collection trigger (2 km, 500 vehicles, {reps} seeds)");
+    println!(
+        "{:>14} {:>16} {:>12} {:>12}",
+        "trigger", "collection tx", "success", "latency(s)"
+    );
+    for mode in [CollectionMode::OnDeparture, CollectionMode::Periodic] {
+        let mut cfg = SimConfig::paper_2km(500, 1300);
+        cfg.hlsrg.collection_mode = mode;
+        let a = replicate_averaged(&cfg, Protocol::Hlsrg, reps);
+        println!(
+            "{:>14} {:>16.0} {:>12.2} {:>12.3}",
+            format!("{mode:?}"),
+            a.collection_radio_tx,
+            a.success_rate,
+            a.mean_latency
+        );
+    }
+    println!();
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let mut periodic = SimConfig::paper_2km(300, 1300);
+    periodic.hlsrg.collection_mode = CollectionMode::Periodic;
+    c.bench_function("ablation_collection/periodic_run", |b| {
+        b.iter(|| black_box(run_simulation(&periodic, Protocol::Hlsrg).collection_radio_tx))
+    });
+    c.final_summary();
+}

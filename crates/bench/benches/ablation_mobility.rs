@@ -1,0 +1,47 @@
+//! **Ablation A6 — mobility model robustness.**
+//!
+//! The paper's results should not hinge on one mobility abstraction. We rerun the
+//! headline comparison under both traffic models this workspace provides:
+//! memoryless weighted random turns (default) and VanetMobiSim-style
+//! origin–destination trips with artery-discounted shortest paths.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_mobility::TripConfig;
+use vanet_scenario::{replicate_averaged, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let reps = 5;
+    println!("\nAblation A6 — mobility model (2 km, 500 vehicles, {reps} seeds)");
+    println!(
+        "{:>14} {:>9} {:>14} {:>12} {:>12}",
+        "mobility", "protocol", "updates", "success", "latency(s)"
+    );
+    for (label, trips) in [
+        ("random-turn", None),
+        ("trips", Some(TripConfig::default())),
+    ] {
+        let mut cfg = SimConfig::paper_2km(500, 1700);
+        cfg.mobility.trips = trips;
+        for protocol in Protocol::ALL {
+            let a = replicate_averaged(&cfg, protocol, reps);
+            println!(
+                "{:>14} {:>9} {:>14.0} {:>12.2} {:>12.3}",
+                label,
+                protocol.name(),
+                a.update_packets,
+                a.success_rate,
+                a.mean_latency
+            );
+        }
+    }
+    println!();
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let mut trips = SimConfig::paper_2km(300, 1700);
+    trips.mobility.trips = Some(TripConfig::default());
+    c.bench_function("ablation_mobility/trips_run", |b| {
+        b.iter(|| black_box(run_simulation(&trips, Protocol::Hlsrg).update_packets))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! **Ablation A4 — communication range vs. the 500 m grid.**
+//!
+//! The paper sets the L1 grid edge equal to the 500 m communication range ("it
+//! can be adjusted with Level 1 grids' boundary length"). Sweeping the radio
+//! range while holding the grid at 500 m shows how sensitive update recording,
+//! query delivery, and success are to that design coupling.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{replicate_averaged, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let reps = 3;
+    println!("\nAblation A4 — radio-range sweep (2 km, 500 vehicles, 500 m grids, {reps} seeds)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "range (m)", "success", "latency(s)", "query tx"
+    );
+    for range in [250.0, 375.0, 500.0, 625.0, 750.0] {
+        let mut cfg = SimConfig::paper_2km(500, 1100);
+        cfg.radio.range = range;
+        let h = replicate_averaged(&cfg, Protocol::Hlsrg, reps);
+        println!(
+            "{:>10.0} {:>12.2} {:>12.3} {:>14.0}",
+            range, h.success_rate, h.mean_latency, h.query_radio_tx
+        );
+    }
+    println!();
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let mut short = SimConfig::paper_2km(300, 1100);
+    short.radio.range = 250.0;
+    c.bench_function("ablation_range/short_range_run", |b| {
+        b.iter(|| black_box(run_simulation(&short, Protocol::Hlsrg).success_rate))
+    });
+    c.final_summary();
+}

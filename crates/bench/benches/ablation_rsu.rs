@@ -1,0 +1,44 @@
+//! **Ablation A2 — the wired RSU backbone.**
+//!
+//! Isolates the paper's second contribution: RSUs at L2/L3 centers with wired
+//! links. With the backbone cut, L2→L3 pushes and all inter-RSU query forwarding
+//! fail, so queries must resolve from L1/L2 knowledge alone — measuring how much
+//! of HLSRG's success rate and latency the infrastructure buys.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{replicate_averaged, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let reps = 5;
+    let wired = SimConfig::paper_2km(500, 700);
+    let mut unwired = wired.clone();
+    unwired.wired_backbone = false;
+
+    let a = replicate_averaged(&wired, Protocol::Hlsrg, reps);
+    let b = replicate_averaged(&unwired, Protocol::Hlsrg, reps);
+    println!("\nAblation A2 — RSU wired backbone (2 km, 500 vehicles, {reps} seeds)");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "backbone", "success", "latency(s)", "query tx"
+    );
+    println!(
+        "{:>12} {:>12.2} {:>12.3} {:>14.0}",
+        "wired", a.success_rate, a.mean_latency, a.query_radio_tx
+    );
+    println!(
+        "{:>12} {:>12.2} {:>12.3} {:>14.0}",
+        "cut", b.success_rate, b.mean_latency, b.query_radio_tx
+    );
+    println!(
+        "the backbone contributes {:+.2} success rate and {:+.3} s latency\n",
+        a.success_rate - b.success_rate,
+        b.mean_latency - a.mean_latency
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("ablation_rsu/unwired_run", |b| {
+        b.iter(|| black_box(run_simulation(&unwired, Protocol::Hlsrg).queries_succeeded))
+    });
+    c.final_summary();
+}

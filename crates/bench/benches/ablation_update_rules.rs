@@ -1,0 +1,46 @@
+//! **Ablation A1 — road-adapted update rules vs. naive per-grid updates.**
+//!
+//! Isolates the paper's third contribution: how much of HLSRG's update saving
+//! comes from the class-1/class-2 suppression rules, versus just having 500 m
+//! grids? We run HLSRG twice on the same world — once with the paper's rules,
+//! once updating on every L1 crossing — and compare update packets and success.
+
+use criterion::Criterion;
+use hlsrg::UpdatePolicy;
+use std::hint::black_box;
+use vanet_scenario::{replicate_averaged, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let reps = 5;
+    let mut road_adapted = SimConfig::paper_2km(500, 500);
+    road_adapted.hlsrg.update_policy = UpdatePolicy::RoadAdapted;
+    let mut naive = road_adapted.clone();
+    naive.hlsrg.update_policy = UpdatePolicy::EveryL1Crossing;
+
+    let a = replicate_averaged(&road_adapted, Protocol::Hlsrg, reps);
+    let b = replicate_averaged(&naive, Protocol::Hlsrg, reps);
+    println!("\nAblation A1 — update rules (2 km, 500 vehicles, {reps} seeds)");
+    println!(
+        "{:>22} {:>14} {:>12} {:>12}",
+        "policy", "updates", "success", "latency(s)"
+    );
+    println!(
+        "{:>22} {:>14.0} {:>12.2} {:>12.3}",
+        "road-adapted", a.update_packets, a.success_rate, a.mean_latency
+    );
+    println!(
+        "{:>22} {:>14.0} {:>12.2} {:>12.3}",
+        "every-L1-crossing", b.update_packets, b.success_rate, b.mean_latency
+    );
+    println!(
+        "suppression saves {:.0}% of updates at a success delta of {:+.2}\n",
+        100.0 * (1.0 - a.update_packets / b.update_packets),
+        a.success_rate - b.success_rate
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("ablation_update_rules/naive_run", |b| {
+        b.iter(|| black_box(run_simulation(&naive, Protocol::Hlsrg).update_packets))
+    });
+    c.final_summary();
+}

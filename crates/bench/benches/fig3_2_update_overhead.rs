@@ -1,0 +1,28 @@
+//! **Figure 3.2 — Location update overhead.**
+//!
+//! Regenerates the paper's sweep (maps of 500/1000/2000 m with 31/125/500
+//! vehicles; count of location-update packets, HLSRG vs RLSMP), then benchmarks a
+//! representative 2 km HLSRG run.
+//!
+//! Paper's result: HLSRG produces ~50 % fewer update packets, with the gap growing
+//! with map size.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{fig3_2, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let fig = fig3_2(bench::figure_scale());
+    println!("\n{fig}");
+    println!("mean HLSRG/RLSMP update ratio: {:.3}\n", fig.mean_ratio());
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let cfg = SimConfig::paper_2km(500, 42);
+    c.bench_function("fig3_2/run_hlsrg_2km_500veh", |b| {
+        b.iter(|| black_box(run_simulation(&cfg, Protocol::Hlsrg).update_packets))
+    });
+    c.bench_function("fig3_2/run_rlsmp_2km_500veh", |b| {
+        b.iter(|| black_box(run_simulation(&cfg, Protocol::Rlsmp).update_packets))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,29 @@
+//! **Figure 3.3 — Location query overhead.**
+//!
+//! Regenerates the paper's sweep (2 km map, 300–600 vehicles, 10 % of vehicles
+//! querying; count of query-class radio transmissions), then benchmarks the query
+//! path in isolation.
+//!
+//! Paper's result: overhead grows with vehicle count; HLSRG stays below RLSMP
+//! (the paper reports ~15 % lower) because L3 RSUs shortcut long forwarding paths
+//! over the wired backbone.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{fig3_3, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let fig = fig3_3(bench::figure_scale());
+    println!("\n{fig}");
+    println!(
+        "mean HLSRG/RLSMP query-overhead ratio: {:.3}\n",
+        fig.mean_ratio()
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let cfg = SimConfig::paper_2km(300, 7);
+    c.bench_function("fig3_3/run_hlsrg_2km_300veh", |b| {
+        b.iter(|| black_box(run_simulation(&cfg, Protocol::Hlsrg).query_radio_tx))
+    });
+    c.final_summary();
+}

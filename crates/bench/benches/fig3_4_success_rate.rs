@@ -1,0 +1,28 @@
+//! **Figure 3.4 — Query success rate.**
+//!
+//! Regenerates the paper's sweep (2 km map, 300–600 vehicles; fraction of queries
+//! ACKed within the deadline).
+//!
+//! Paper's result: HLSRG approaches 100 % while RLSMP stays below it — HLSRG's
+//! RSU-backed hierarchy plus the directional geo-broadcast finds even stale
+//! targets, while RLSMP's spiral search works on overdue information.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{fig3_4, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let fig = fig3_4(bench::figure_scale());
+    println!("\n{fig}");
+    println!(
+        "mean HLSRG/RLSMP success-rate ratio: {:.3}\n",
+        fig.mean_ratio()
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let cfg = SimConfig::paper_2km(400, 11);
+    c.bench_function("fig3_4/run_hlsrg_2km_400veh", |b| {
+        b.iter(|| black_box(run_simulation(&cfg, Protocol::Hlsrg).success_rate))
+    });
+    c.final_summary();
+}

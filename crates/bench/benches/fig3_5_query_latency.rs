@@ -1,0 +1,25 @@
+//! **Figure 3.5 — Average time cost for a query.**
+//!
+//! Regenerates the paper's sweep (2 km map, 300–600 vehicles; mean request→ACK
+//! latency over successful queries, averaged across seeds as the paper averages
+//! 10 simulations).
+//!
+//! Paper's result: HLSRG is faster — wired L3 forwarding replaces RLSMP's
+//! wait-and-aggregate pause and spiral LSC visits.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use vanet_scenario::{fig3_5, run_simulation, Protocol, SimConfig};
+
+fn main() {
+    let fig = fig3_5(bench::figure_scale());
+    println!("\n{fig}");
+    println!("mean HLSRG/RLSMP latency ratio: {:.3}\n", fig.mean_ratio());
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let cfg = SimConfig::paper_2km(500, 3);
+    c.bench_function("fig3_5/run_rlsmp_2km_500veh", |b| {
+        b.iter(|| black_box(run_simulation(&cfg, Protocol::Rlsmp).queries_succeeded))
+    });
+    c.final_summary();
+}

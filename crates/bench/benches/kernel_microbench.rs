@@ -1,0 +1,115 @@
+//! Microbenchmarks of the simulation substrate: event queue, spatial hash, GPSR
+//! step, mobility tick, and partition lookups. These bound how far the simulator
+//! scales beyond the paper's 700 vehicles.
+
+use criterion::{BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use vanet_des::{EventQueue, SimTime};
+use vanet_geo::{Point, SpatialHash};
+use vanet_mobility::{LightConfig, MobilityConfig, MobilityModel, TrafficLights, VehicleId};
+use vanet_net::{gpsr_step, GpsrHeader, GpsrTarget, NodeId, NodeRegistry};
+use vanet_roadnet::{generate_grid, GridMapSpec, Partition};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let times: Vec<u64> = (0..10_000)
+            .map(|_| rng.random_range(0..1_000_000))
+            .collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for &t in &times {
+                q.schedule_at(SimTime::from_micros(t), t);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_spatial_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/spatial_hash_query");
+    for &n in &[500usize, 2_000, 8_000] {
+        let mut h = SpatialHash::new(500.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..n {
+            h.upsert(
+                i as u64,
+                Point::new(rng.random_range(0.0..4000.0), rng.random_range(0.0..4000.0)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| black_box(h.query_radius(Point::new(2000.0, 2000.0), 500.0).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpsr(c: &mut Criterion) {
+    let mut reg = NodeRegistry::new(500.0);
+    let mut rng = SmallRng::seed_from_u64(2);
+    for i in 0..1_000u32 {
+        reg.add_vehicle(
+            VehicleId(i),
+            Point::new(rng.random_range(0.0..2000.0), rng.random_range(0.0..2000.0)),
+        );
+    }
+    c.bench_function("kernel/gpsr_step_dense", |b| {
+        let header = GpsrHeader::new(GpsrTarget::Node(NodeId(999)), reg.pos(NodeId(999)));
+        b.iter(|| black_box(gpsr_step(&reg, 500.0, NodeId(0), header)))
+    });
+}
+
+fn bench_mobility_tick(c: &mut Criterion) {
+    let net = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+    let lights = TrafficLights::new(&net, LightConfig::default());
+    let mut group = c.benchmark_group("kernel/mobility_tick");
+    for &n in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut model = MobilityModel::new(&net, MobilityConfig::default(), n, &mut rng);
+            let tick = model.config().tick;
+            let mut now = SimTime::ZERO;
+            b.iter(|| {
+                let s = model.step(&net, &lights, now, &mut rng);
+                let len = s.len();
+                now += tick;
+                black_box(len)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let net = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+    let p = Partition::build(&net, 500.0);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let pts: Vec<Point> = (0..1_000)
+        .map(|_| Point::new(rng.random_range(0.0..2000.0), rng.random_range(0.0..2000.0)))
+        .collect();
+    c.bench_function("kernel/partition_l1_of_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &pt in &pts {
+                acc = acc.wrapping_add(p.l1_of(pt).0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_event_queue(&mut c);
+    bench_spatial_hash(&mut c);
+    bench_gpsr(&mut c);
+    bench_mobility_tick(&mut c);
+    bench_partition(&mut c);
+    c.final_summary();
+}

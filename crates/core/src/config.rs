@@ -1,0 +1,153 @@
+//! HLSRG protocol parameters.
+
+use serde::{Deserialize, Serialize};
+use vanet_des::SimDuration;
+
+/// On-the-wire packet sizes in bytes, used for serialization delays and realism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketSizes {
+    /// One location update broadcast (id, position, time, direction, grid).
+    pub update: usize,
+    /// Fixed part of a table transfer.
+    pub table_base: usize,
+    /// Per-entry increment of a table transfer.
+    pub table_entry: usize,
+    /// A location request.
+    pub request: usize,
+    /// A notification searching for the destination.
+    pub notify: usize,
+    /// The destination's ACK back to the source.
+    pub ack: usize,
+    /// One application data packet (post-discovery GPSR traffic).
+    pub data: usize,
+}
+
+impl Default for PacketSizes {
+    fn default() -> Self {
+        PacketSizes {
+            update: 64,
+            table_base: 32,
+            table_entry: 16,
+            request: 128,
+            notify: 96,
+            ack: 32,
+            data: 512,
+        }
+    }
+}
+
+impl PacketSizes {
+    /// Size of a table transfer with `entries` rows.
+    pub fn table(&self, entries: usize) -> usize {
+        self.table_base + self.table_entry * entries
+    }
+}
+
+/// How L1 grid tables reach the L2 RSU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CollectionMode {
+    /// The paper's mechanism: a custodian leaving the grid-center intersection
+    /// hands the table off (one-hop broadcast at the intersection) and forwards
+    /// it to the L2 RSU — throttled to departures that actually carry new
+    /// entries.
+    #[default]
+    OnDeparture,
+    /// Deterministic approximation: push every `collection_period`.
+    Periodic,
+}
+
+/// All tunables of the HLSRG protocol (paper §2 values as defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HlsrgConfig {
+    /// Radius around a grid-center intersection within which a vehicle acts as a
+    /// custodian/location server for that grid.
+    pub center_radius: f64,
+    /// L1 table entry lifetime. The paper specifies 2.2 minutes *as a proxy for
+    /// ~1000 m of driving* at free-flow speed; with signalized stop-and-go traffic
+    /// the same distance takes twice as long, so the default is distance-calibrated
+    /// to 4.4 minutes.
+    pub l1_ttl: SimDuration,
+    /// L2 table entry lifetime — also 2.2 minutes.
+    pub l2_ttl: SimDuration,
+    /// L3 table entry lifetime — the paper's 4.4 minutes (≈2000 m).
+    pub l3_ttl: SimDuration,
+    /// How L1 tables reach the L2 RSU.
+    pub collection_mode: CollectionMode,
+    /// Period of the L1-center → L2-RSU push in [`CollectionMode::Periodic`], and
+    /// the fallback sweep period in [`CollectionMode::OnDeparture`] (quiet grids
+    /// with data but no departures still push eventually).
+    pub collection_period: SimDuration,
+    /// Period of the L2-RSU → L3-RSU wired table push.
+    pub l2_push_period: SimDuration,
+    /// Source retry timeout: no ACK within this → go straight to the L3 RSU
+    /// (paper: 5 s).
+    pub query_timeout: SimDuration,
+    /// Deadline for a query to count as successful.
+    pub query_deadline: SimDuration,
+    /// How far a directional notification chases a stale artery target, meters.
+    pub notify_max_dist: f64,
+    /// Corridor half-width of the directional broadcast, meters.
+    pub lateral_tol: f64,
+    /// Backoff slots drawn by custodians that *have* the target's entry (paper:
+    /// 0–15 bit times).
+    pub backoff_found: (u32, u32),
+    /// Backoff slots drawn by custodians that *lack* the entry (paper: 17–31).
+    pub backoff_notfound: (u32, u32),
+    /// Escalation hop budget for one request (loop protection).
+    pub max_escalations: u8,
+    /// Which update discipline vehicles follow (ablation knob).
+    pub update_policy: crate::update::UpdatePolicy,
+    /// Application data packets the source sends the destination via GPSR after a
+    /// successful discovery (the traffic the service exists to enable). 0 = off.
+    pub data_packets_per_session: u32,
+    /// Packet sizes.
+    pub sizes: PacketSizes,
+}
+
+impl Default for HlsrgConfig {
+    fn default() -> Self {
+        HlsrgConfig {
+            center_radius: 250.0,
+            l1_ttl: SimDuration::from_millis(264_000),
+            l2_ttl: SimDuration::from_millis(264_000),
+            l3_ttl: SimDuration::from_millis(528_000),
+            collection_mode: CollectionMode::OnDeparture,
+            collection_period: SimDuration::from_secs(10),
+            l2_push_period: SimDuration::from_secs(10),
+            query_timeout: SimDuration::from_secs(5),
+            query_deadline: SimDuration::from_secs(30),
+            notify_max_dist: 1200.0,
+            lateral_tol: 40.0,
+            backoff_found: (0, 15),
+            backoff_notfound: (17, 31),
+            max_escalations: 6,
+            update_policy: crate::update::UpdatePolicy::RoadAdapted,
+            data_packets_per_session: 8,
+            sizes: PacketSizes::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HlsrgConfig::default();
+        // The paper's 2.2 / 4.4 minutes, distance-calibrated (×2) for signalized
+        // stop-and-go traffic.
+        assert_eq!(c.l1_ttl, SimDuration::from_secs(264));
+        assert_eq!(c.l3_ttl, SimDuration::from_secs(528));
+        assert_eq!(c.query_timeout, SimDuration::from_secs(5));
+        assert_eq!(c.backoff_found, (0, 15));
+        assert_eq!(c.backoff_notfound, (17, 31));
+    }
+
+    #[test]
+    fn table_size_scales() {
+        let s = PacketSizes::default();
+        assert_eq!(s.table(0), 32);
+        assert_eq!(s.table(10), 32 + 160);
+    }
+}

@@ -1,0 +1,239 @@
+//! Location tables at the three hierarchy levels (paper §2.2.2).
+//!
+//! Detail shrinks as information flows up, exactly as the paper prescribes:
+//!
+//! * **L1** (kept by vehicles at the grid-center intersection): full detail —
+//!   position, time, direction, road class, grid. Entries expire after 2.2 min.
+//! * **L2** (RSU): vehicle id, update time, and *which L1 grid* reported it.
+//!   Expire after 2.2 min.
+//! * **L3** (RSU): vehicle id, update time, and *which L2 RSU* reported it.
+//!   Expire after 4.4 min.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vanet_des::{SimDuration, SimTime};
+use vanet_geo::{Heading, Point};
+use vanet_mobility::VehicleId;
+use vanet_roadnet::{L1Id, L2Id, RoadClass, RoadId};
+
+/// Full-detail entry stored at a Level-1 grid center.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct L1Entry {
+    /// Reported position.
+    pub pos: Point,
+    /// Time of the update.
+    pub time: SimTime,
+    /// Direction of travel when the update was sent — the key to the directional
+    /// geo-broadcast search.
+    pub heading: Heading,
+    /// Road driven when the update was sent.
+    pub road: RoadId,
+    /// Whether that road was a main artery.
+    pub road_class: RoadClass,
+    /// The L1 grid the update was addressed to.
+    pub l1: L1Id,
+}
+
+/// Reduced entry at an upper level: when, and who reported (an L1 grid for L2
+/// tables, an L2 grid for L3 tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpEntry<G> {
+    /// Time of the underlying update.
+    pub time: SimTime,
+    /// Reporting lower-level grid.
+    pub from: G,
+}
+
+/// A TTL-pruned location table keyed by vehicle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocationTable<E> {
+    entries: HashMap<VehicleId, E>,
+    ttl: SimDuration,
+}
+
+/// Entry types that expose their update time for TTL pruning and freshness wins.
+pub trait Timestamped {
+    /// Time of the underlying location update.
+    fn time(&self) -> SimTime;
+}
+
+impl Timestamped for L1Entry {
+    fn time(&self) -> SimTime {
+        self.time
+    }
+}
+
+impl<G> Timestamped for UpEntry<G> {
+    fn time(&self) -> SimTime {
+        self.time
+    }
+}
+
+impl<E: Timestamped + Clone> LocationTable<E> {
+    /// Creates an empty table whose entries live for `ttl`.
+    pub fn new(ttl: SimDuration) -> Self {
+        LocationTable {
+            entries: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Inserts or refreshes an entry; an older update never overwrites a newer one.
+    pub fn record(&mut self, v: VehicleId, entry: E) {
+        match self.entries.get(&v) {
+            Some(cur) if cur.time() > entry.time() => {}
+            _ => {
+                self.entries.insert(v, entry);
+            }
+        }
+    }
+
+    /// Removes a vehicle's entry (the "old grid deletes it" rule).
+    pub fn remove(&mut self, v: VehicleId) -> Option<E> {
+        self.entries.remove(&v)
+    }
+
+    /// Drops every entry older than the TTL as of `now`.
+    pub fn prune(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.entries
+            .retain(|_, e| now.saturating_since(e.time()) <= ttl);
+    }
+
+    /// Fresh lookup: prunes, then reads.
+    pub fn lookup(&mut self, v: VehicleId, now: SimTime) -> Option<E> {
+        if let Some(e) = self.entries.get(&v) {
+            if now.saturating_since(e.time()) <= self.ttl {
+                return Some(e.clone());
+            }
+            self.entries.remove(&v);
+        }
+        None
+    }
+
+    /// Non-pruning read (tests, diagnostics).
+    pub fn peek(&self, v: VehicleId) -> Option<&E> {
+        self.entries.get(&v)
+    }
+
+    /// Number of live entries (may include expired ones until the next prune).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VehicleId, &E)> + '_ {
+        self.entries.iter().map(|(&v, e)| (v, e))
+    }
+
+    /// Snapshot of `(vehicle, time)` rows sorted by vehicle id — the summary an
+    /// upper level receives.
+    pub fn summary(&self) -> Vec<(VehicleId, SimTime)> {
+        let mut rows: Vec<_> = self.entries.iter().map(|(&v, e)| (v, e.time())).collect();
+        rows.sort_by_key(|&(v, _)| v);
+        rows
+    }
+}
+
+/// Level-1 table.
+pub type L1Table = LocationTable<L1Entry>;
+/// Level-2 table: which L1 grid reported each vehicle.
+pub type L2Table = LocationTable<UpEntry<L1Id>>;
+/// Level-3 table: which L2 grid reported each vehicle.
+pub type L3Table = LocationTable<UpEntry<L2Id>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_geo::Cardinal;
+
+    fn entry(t: u64) -> L1Entry {
+        L1Entry {
+            pos: Point::new(1.0, 2.0),
+            time: SimTime::from_secs(t),
+            heading: Cardinal::East.into(),
+            road: RoadId(0),
+            road_class: RoadClass::Artery,
+            l1: L1Id(0),
+        }
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = L1Table::new(SimDuration::from_secs(132));
+        t.record(VehicleId(1), entry(10));
+        assert!(t.lookup(VehicleId(1), SimTime::from_secs(20)).is_some());
+        assert!(t.lookup(VehicleId(2), SimTime::from_secs(20)).is_none());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut t = L1Table::new(SimDuration::from_secs(132));
+        t.record(VehicleId(1), entry(0));
+        assert!(t.lookup(VehicleId(1), SimTime::from_secs(132)).is_some());
+        assert!(t.lookup(VehicleId(1), SimTime::from_secs(133)).is_none());
+        // Expired lookup also evicted the entry.
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn prune_sweeps_all_expired() {
+        let mut t = L2Table::new(SimDuration::from_secs(132));
+        t.record(
+            VehicleId(1),
+            UpEntry {
+                time: SimTime::from_secs(0),
+                from: L1Id(0),
+            },
+        );
+        t.record(
+            VehicleId(2),
+            UpEntry {
+                time: SimTime::from_secs(100),
+                from: L1Id(1),
+            },
+        );
+        t.prune(SimTime::from_secs(140));
+        assert_eq!(t.len(), 1);
+        assert!(t.peek(VehicleId(2)).is_some());
+    }
+
+    #[test]
+    fn newer_entry_wins_regardless_of_arrival_order() {
+        let mut t = L1Table::new(SimDuration::from_secs(132));
+        t.record(VehicleId(1), entry(50));
+        t.record(VehicleId(1), entry(10)); // stale duplicate arriving late
+        assert_eq!(t.peek(VehicleId(1)).unwrap().time, SimTime::from_secs(50));
+        t.record(VehicleId(1), entry(60));
+        assert_eq!(t.peek(VehicleId(1)).unwrap().time, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn remove_models_old_grid_deletion() {
+        let mut t = L1Table::new(SimDuration::from_secs(132));
+        t.record(VehicleId(7), entry(5));
+        assert!(t.remove(VehicleId(7)).is_some());
+        assert!(t.remove(VehicleId(7)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn summary_is_sorted_and_reduced() {
+        let mut t = L1Table::new(SimDuration::from_secs(132));
+        t.record(VehicleId(9), entry(1));
+        t.record(VehicleId(3), entry(2));
+        let s = t.summary();
+        assert_eq!(
+            s,
+            vec![
+                (VehicleId(3), SimTime::from_secs(2)),
+                (VehicleId(9), SimTime::from_secs(1))
+            ]
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! The location-update decision rules (paper §2.2.1).
+//!
+//! Vehicles fall into two classes by the road they are driving:
+//!
+//! **Class 1 — on a selected main artery.** Send an update only when
+//! 1. driving straight across a **Level-3** grid boundary, or
+//! 2. turning onto any other road (artery or normal).
+//!
+//! **Class 2 — on a normal road.** Send an update when
+//! 1. driving straight across a boundary of **any** level (i.e. any L1 boundary), or
+//! 2. turning onto a main artery.
+//!
+//! Because ~90 % of traffic is on arteries and artery traffic mostly flows straight,
+//! these rules suppress the bulk of the per-boundary updates a naive scheme (RLSMP)
+//! sends — the 50 % overhead reduction of Fig 3.2 comes from exactly this function.
+
+use serde::{Deserialize, Serialize};
+use vanet_geo::TurnKind;
+use vanet_mobility::MoveSample;
+use vanet_roadnet::{Partition, RoadClass};
+
+/// Why an update was triggered (for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateReason {
+    /// Class 1, rule 2: an artery vehicle turned.
+    ArteryTurn,
+    /// Class 1, rule 1: an artery vehicle crossed an L3 boundary going straight.
+    ArteryL3Crossing,
+    /// Class 2, rule 2: a normal-road vehicle turned onto an artery.
+    NormalTurnOntoArtery,
+    /// Class 2, rule 1: a normal-road vehicle crossed a grid boundary.
+    NormalBoundaryCrossing,
+}
+
+/// Which update discipline vehicles follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// The paper's road-adapted class-1/class-2 rules.
+    #[default]
+    RoadAdapted,
+    /// Ablation baseline: update on *every* L1 boundary crossing regardless of
+    /// road class (what a naive grid scheme would do).
+    EveryL1Crossing,
+}
+
+/// Applies `policy` to one movement sample.
+pub fn update_trigger_with_policy(
+    partition: &Partition,
+    policy: UpdatePolicy,
+    s: &MoveSample,
+) -> Option<UpdateReason> {
+    match policy {
+        UpdatePolicy::RoadAdapted => update_trigger(partition, s),
+        UpdatePolicy::EveryL1Crossing => (partition.l1_of(s.old_pos) != partition.l1_of(s.new_pos))
+            .then_some(UpdateReason::NormalBoundaryCrossing),
+    }
+}
+
+/// Applies the class-1/class-2 rules to one movement sample.
+///
+/// Returns `Some(reason)` if the vehicle must broadcast a location update this tick.
+pub fn update_trigger(partition: &Partition, s: &MoveSample) -> Option<UpdateReason> {
+    // A straight crossing of an intersection is not a "turn" in the paper's sense.
+    let turned = s.turn.filter(|t| t.kind != TurnKind::Straight);
+    // The class is decided by the road the vehicle was driving *before* the
+    // maneuver: a vehicle leaving an artery follows the artery rule for that turn.
+    let driving_class = turned.map(|t| t.from_class).unwrap_or(s.road_class);
+
+    match driving_class {
+        RoadClass::Artery => {
+            if turned.is_some() {
+                return Some(UpdateReason::ArteryTurn);
+            }
+            if partition.l3_of(s.old_pos) != partition.l3_of(s.new_pos) {
+                return Some(UpdateReason::ArteryL3Crossing);
+            }
+            None
+        }
+        RoadClass::Normal => {
+            if let Some(t) = turned {
+                if t.onto_class == RoadClass::Artery {
+                    return Some(UpdateReason::NormalTurnOntoArtery);
+                }
+            }
+            if partition.l1_of(s.old_pos) != partition.l1_of(s.new_pos) {
+                return Some(UpdateReason::NormalBoundaryCrossing);
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_geo::{Cardinal, Heading, Point};
+    use vanet_mobility::{TurnEvent, VehicleId};
+    use vanet_roadnet::{generate_grid, GridMapSpec, IntersectionId, L1Id, RoadId};
+
+    fn partition(size: f64) -> Partition {
+        let net = generate_grid(&GridMapSpec::paper(size), &mut SmallRng::seed_from_u64(0));
+        Partition::build(&net, 500.0)
+    }
+
+    fn sample(
+        old_pos: Point,
+        new_pos: Point,
+        road_class: RoadClass,
+        turn: Option<TurnEvent>,
+    ) -> MoveSample {
+        MoveSample {
+            id: VehicleId(0),
+            old_pos,
+            new_pos,
+            road: RoadId(0),
+            from: IntersectionId(0),
+            road_class,
+            heading: Heading::from(Cardinal::East),
+            speed: 10.0,
+            turn,
+        }
+    }
+
+    fn turn(kind: TurnKind, from_class: RoadClass, onto_class: RoadClass) -> TurnEvent {
+        TurnEvent {
+            at: IntersectionId(0),
+            from_road: RoadId(0),
+            to_road: RoadId(1),
+            kind,
+            from_class,
+            onto_class,
+        }
+    }
+
+    // ---- Class 1 (artery) ----
+
+    #[test]
+    fn artery_straight_within_l3_is_silent() {
+        let p = partition(2000.0); // one L3 grid: no L3 crossings possible
+                                   // Crosses an L1 boundary (x: 499 → 501) going straight on an artery.
+        let s = sample(
+            Point::new(499.0, 0.0),
+            Point::new(501.0, 0.0),
+            RoadClass::Artery,
+            None,
+        );
+        assert_eq!(update_trigger(&p, &s), None);
+    }
+
+    #[test]
+    fn artery_l3_crossing_triggers() {
+        let p = partition(4000.0); // 2×2 L3 grids, boundary at x = 2000
+        let s = sample(
+            Point::new(1999.0, 100.0),
+            Point::new(2001.0, 100.0),
+            RoadClass::Artery,
+            None,
+        );
+        assert_eq!(update_trigger(&p, &s), Some(UpdateReason::ArteryL3Crossing));
+    }
+
+    #[test]
+    fn artery_turn_triggers_whatever_the_target_road() {
+        let p = partition(2000.0);
+        for onto in [RoadClass::Artery, RoadClass::Normal] {
+            let s = sample(
+                Point::new(100.0, 0.0),
+                Point::new(100.0, 5.0),
+                onto, // now on the new road
+                Some(turn(TurnKind::Turn, RoadClass::Artery, onto)),
+            );
+            assert_eq!(
+                update_trigger(&p, &s),
+                Some(UpdateReason::ArteryTurn),
+                "onto {onto:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn artery_straight_through_intersection_is_silent() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(498.0, 0.0),
+            Point::new(503.0, 0.0),
+            RoadClass::Artery,
+            Some(turn(
+                TurnKind::Straight,
+                RoadClass::Artery,
+                RoadClass::Artery,
+            )),
+        );
+        assert_eq!(update_trigger(&p, &s), None);
+    }
+
+    // ---- Class 2 (normal road) ----
+
+    #[test]
+    fn normal_crossing_any_l1_boundary_triggers() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(499.0, 250.0),
+            Point::new(501.0, 250.0),
+            RoadClass::Normal,
+            None,
+        );
+        assert_eq!(
+            update_trigger(&p, &s),
+            Some(UpdateReason::NormalBoundaryCrossing)
+        );
+        // Confirm the two points really are in different L1 grids.
+        assert_ne!(p.l1_of(s.old_pos), p.l1_of(s.new_pos));
+    }
+
+    #[test]
+    fn normal_within_grid_is_silent() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(100.0, 250.0),
+            Point::new(105.0, 250.0),
+            RoadClass::Normal,
+            None,
+        );
+        assert_eq!(update_trigger(&p, &s), None);
+        assert_eq!(p.l1_of(s.old_pos), L1Id(0));
+    }
+
+    #[test]
+    fn normal_turn_onto_artery_triggers() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(250.0, 250.0),
+            Point::new(250.0, 255.0),
+            RoadClass::Artery,
+            Some(turn(TurnKind::Turn, RoadClass::Normal, RoadClass::Artery)),
+        );
+        assert_eq!(
+            update_trigger(&p, &s),
+            Some(UpdateReason::NormalTurnOntoArtery)
+        );
+    }
+
+    #[test]
+    fn normal_turn_onto_normal_is_silent_without_crossing() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(250.0, 250.0),
+            Point::new(250.0, 255.0),
+            RoadClass::Normal,
+            Some(turn(TurnKind::Turn, RoadClass::Normal, RoadClass::Normal)),
+        );
+        assert_eq!(update_trigger(&p, &s), None);
+    }
+
+    #[test]
+    fn normal_turn_with_boundary_crossing_still_triggers() {
+        let p = partition(2000.0);
+        // Turning normal→normal while also crossing an L1 boundary: rule 1 applies.
+        let s = sample(
+            Point::new(499.0, 250.0),
+            Point::new(501.0, 252.0),
+            RoadClass::Normal,
+            Some(turn(TurnKind::Turn, RoadClass::Normal, RoadClass::Normal)),
+        );
+        assert_eq!(
+            update_trigger(&p, &s),
+            Some(UpdateReason::NormalBoundaryCrossing)
+        );
+    }
+
+    #[test]
+    fn class_decided_by_previous_road() {
+        let p = partition(2000.0);
+        // Vehicle was on a NORMAL road, turned onto an artery, and the sample's
+        // current class is Artery — the class-2 rule must be the one that fires.
+        let s = sample(
+            Point::new(100.0, 100.0),
+            Point::new(100.0, 105.0),
+            RoadClass::Artery,
+            Some(turn(TurnKind::Turn, RoadClass::Normal, RoadClass::Artery)),
+        );
+        assert_eq!(
+            update_trigger(&p, &s),
+            Some(UpdateReason::NormalTurnOntoArtery)
+        );
+    }
+
+    #[test]
+    fn uturn_counts_as_turn() {
+        let p = partition(2000.0);
+        let s = sample(
+            Point::new(100.0, 0.0),
+            Point::new(95.0, 0.0),
+            RoadClass::Artery,
+            Some(turn(TurnKind::UTurn, RoadClass::Artery, RoadClass::Artery)),
+        );
+        assert_eq!(update_trigger(&p, &s), Some(UpdateReason::ArteryTurn));
+    }
+}

@@ -1,0 +1,325 @@
+//! The event queue and simulation driver.
+//!
+//! Events are ordered by `(time, sequence)`: strictly by timestamp, and FIFO among
+//! events scheduled for the same instant. The sequence tie-break is what makes runs
+//! deterministic — two events at the same time always fire in the order they were
+//! scheduled, independent of heap internals.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: payload `E` plus its firing time and insertion sequence.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO tie-breaking.
+///
+/// This is the heart of the kernel. Protocol and mobility layers push future work in
+/// with [`EventQueue::schedule_at`] / [`EventQueue::schedule_after`]; the driver pops
+/// it back out in global time order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for diagnostics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — scheduling into the past is
+    /// always a protocol bug, and catching it here keeps the timeline causal.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "event queue went back in time");
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Drops every pending event and resets the clock to t = 0.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.scheduled_total = 0;
+    }
+}
+
+/// Outcome of [`run`] / [`run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The handler requested an early stop.
+    Stopped,
+}
+
+/// What a handler tells the driver after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep processing events.
+    #[default]
+    Continue,
+    /// Stop the run immediately.
+    Stop,
+}
+
+/// Runs the queue until it drains, the handler stops the run, or `horizon` is passed.
+///
+/// `handler` receives each event together with the queue so it can schedule follow-up
+/// events. Events with `time > horizon` are left in the queue; the clock never
+/// advances past the last event actually processed.
+pub fn run_until<E>(
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    mut handler: impl FnMut(SimTime, E, &mut EventQueue<E>) -> Control,
+) -> RunOutcome {
+    loop {
+        match queue.peek_time() {
+            None => return RunOutcome::Drained,
+            Some(t) if t > horizon => return RunOutcome::HorizonReached,
+            Some(_) => {
+                let (t, e) = queue.pop().expect("peeked event vanished");
+                if handler(t, e, queue) == Control::Stop {
+                    return RunOutcome::Stopped;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the queue until it drains or the handler stops the run.
+pub fn run<E>(
+    queue: &mut EventQueue<E>,
+    handler: impl FnMut(SimTime, E, &mut EventQueue<E>) -> Control,
+) -> RunOutcome {
+    run_until(queue, SimTime::MAX, handler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(4), ());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), 0);
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(2), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        for s in 1..=10u64 {
+            q.schedule_at(SimTime::from_secs(s), s);
+        }
+        let mut seen = vec![];
+        let outcome = run_until(&mut q, SimTime::from_secs(5), |_, e, _| {
+            seen.push(e);
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn run_drains_and_allows_cascading() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 3u32);
+        let mut count = 0;
+        let outcome = run(&mut q, |_, e, q| {
+            count += 1;
+            if e > 0 {
+                q.schedule_after(SimDuration::from_secs(1), e - 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(count, 4); // 3, 2, 1, 0
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut q = EventQueue::new();
+        for s in 1..=10u64 {
+            q.schedule_at(SimTime::from_secs(s), s);
+        }
+        let mut seen = 0;
+        let outcome = run(&mut q, |_, _, _| {
+            seen += 1;
+            if seen == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled_total(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Grids (both HLSRG's road-adapted grids and RLSMP's longitude/latitude cells) are
+//! rectangles in the local frame; `BBox` is the shared representation.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[min_x, max_x) × [min_y, max_y)`.
+///
+/// Half-open on the max edges so that adjacent grid cells tile the plane without
+/// double-counting boundary points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// West edge (inclusive).
+    pub min_x: f64,
+    /// South edge (inclusive).
+    pub min_y: f64,
+    /// East edge (exclusive).
+    pub max_x: f64,
+    /// North edge (exclusive).
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// Creates a box from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is inverted (`max < min` on either axis).
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(max_x >= min_x && max_y >= min_y, "inverted bbox");
+        BBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The box spanning two arbitrary corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        BBox {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// True if `p` lies inside (min edges inclusive, max edges exclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x < self.max_x && p.y >= self.min_y && p.y < self.max_y
+    }
+
+    /// True if `p` lies inside or on any edge (both edges inclusive).
+    pub fn contains_closed(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True if the two boxes overlap (half-open semantics).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x < other.max_x
+            && other.min_x < self.max_x
+            && self.min_y < other.max_y
+            && other.min_y < self.max_y
+    }
+
+    /// The box grown by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Euclidean distance from `p` to the box (0 if inside).
+    pub fn distance_to(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let b = BBox::new(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 20.0);
+        assert_eq!(b.center(), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn half_open_tiling() {
+        let left = BBox::new(0.0, 0.0, 5.0, 5.0);
+        let right = BBox::new(5.0, 0.0, 10.0, 5.0);
+        let boundary = Point::new(5.0, 2.0);
+        assert!(!left.contains(boundary));
+        assert!(right.contains(boundary));
+        assert!(left.contains_closed(boundary));
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let b = BBox::from_corners(Point::new(10.0, 0.0), Point::new(0.0, 10.0));
+        assert_eq!(b, BBox::new(0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn intersects_excludes_touching_edges() {
+        let a = BBox::new(0.0, 0.0, 5.0, 5.0);
+        let b = BBox::new(5.0, 0.0, 10.0, 5.0);
+        let c = BBox::new(4.0, 4.0, 6.0, 6.0);
+        assert!(!a.intersects(&b)); // share only an edge
+        assert!(a.intersects(&c));
+        assert!(c.intersects(&b));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let b = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(b.distance_to(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(b.distance_to(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(b.distance_to(Point::new(-2.0, 5.0)), 2.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = BBox::new(1.0, 1.0, 2.0, 2.0).inflate(1.0);
+        assert_eq!(b, BBox::new(0.0, 0.0, 3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bbox")]
+    fn inverted_rejected() {
+        let _ = BBox::new(1.0, 0.0, 0.0, 1.0);
+    }
+}

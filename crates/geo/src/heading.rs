@@ -1,0 +1,212 @@
+//! Headings and cardinal directions.
+//!
+//! HLSRG's update rules and directional geo-broadcast reason about the *direction* a
+//! vehicle was last seen driving. On a Manhattan-style road graph that direction is
+//! essentially cardinal, but the types here work for arbitrary bearings so jittered
+//! maps behave too.
+
+use crate::point::Vec2;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// The four cardinal directions, used for RSU wiring and directional broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cardinal {
+    /// +y
+    North,
+    /// +x
+    East,
+    /// -y
+    South,
+    /// -x
+    West,
+}
+
+impl Cardinal {
+    /// All four directions in N, E, S, W order.
+    pub const ALL: [Cardinal; 4] = [
+        Cardinal::North,
+        Cardinal::East,
+        Cardinal::South,
+        Cardinal::West,
+    ];
+
+    /// Unit vector of this direction.
+    pub fn unit(self) -> Vec2 {
+        match self {
+            Cardinal::North => Vec2::new(0.0, 1.0),
+            Cardinal::East => Vec2::new(1.0, 0.0),
+            Cardinal::South => Vec2::new(0.0, -1.0),
+            Cardinal::West => Vec2::new(-1.0, 0.0),
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Cardinal {
+        match self {
+            Cardinal::North => Cardinal::South,
+            Cardinal::East => Cardinal::West,
+            Cardinal::South => Cardinal::North,
+            Cardinal::West => Cardinal::East,
+        }
+    }
+
+    /// Grid offset `(dx, dy)` of this direction in units of one cell.
+    pub fn grid_offset(self) -> (i64, i64) {
+        match self {
+            Cardinal::North => (0, 1),
+            Cardinal::East => (1, 0),
+            Cardinal::South => (0, -1),
+            Cardinal::West => (-1, 0),
+        }
+    }
+}
+
+/// A heading in radians, measured counterclockwise from east (+x), normalized to
+/// `(-π, π]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Heading(f64);
+
+impl Heading {
+    /// Creates a heading, normalizing into `(-π, π]`.
+    pub fn new(radians: f64) -> Self {
+        Heading(normalize_angle(radians))
+    }
+
+    /// Heading of a displacement vector; `None` for (near-)zero vectors.
+    pub fn of(v: Vec2) -> Option<Self> {
+        v.normalized().map(|u| Heading(u.angle()))
+    }
+
+    /// Radians in `(-π, π]`.
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Unit vector of this heading.
+    pub fn unit(self) -> Vec2 {
+        Vec2::new(self.0.cos(), self.0.sin())
+    }
+
+    /// Smallest absolute angle to `other`, in `[0, π]`.
+    pub fn angle_to(self, other: Heading) -> f64 {
+        normalize_angle(other.0 - self.0).abs()
+    }
+
+    /// Nearest cardinal direction.
+    pub fn to_cardinal(self) -> Cardinal {
+        // Quadrants centered on the axes: east is (-π/4, π/4], etc.
+        let a = self.0;
+        if a > -PI / 4.0 && a <= PI / 4.0 {
+            Cardinal::East
+        } else if a > PI / 4.0 && a <= 3.0 * PI / 4.0 {
+            Cardinal::North
+        } else if a > -3.0 * PI / 4.0 && a <= -PI / 4.0 {
+            Cardinal::South
+        } else {
+            Cardinal::West
+        }
+    }
+}
+
+/// Classification of a direction change at an intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TurnKind {
+    /// Continuing within ±45° of the previous heading.
+    Straight,
+    /// Any left/right deviation beyond ±45° (HLSRG treats all turns alike).
+    Turn,
+    /// A reversal (≥135° deviation).
+    UTurn,
+}
+
+/// Classifies the change from `from` to `to`.
+pub fn classify_turn(from: Heading, to: Heading) -> TurnKind {
+    let d = from.angle_to(to);
+    if d <= PI / 4.0 {
+        TurnKind::Straight
+    } else if d < 3.0 * PI / 4.0 {
+        TurnKind::Turn
+    } else {
+        TurnKind::UTurn
+    }
+}
+
+/// Normalizes an angle into `(-π, π]`.
+pub fn normalize_angle(mut a: f64) -> f64 {
+    a = a.rem_euclid(2.0 * PI); // [0, 2π)
+    if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+/// Convenience: heading of a cardinal direction.
+impl From<Cardinal> for Heading {
+    fn from(c: Cardinal) -> Heading {
+        match c {
+            Cardinal::East => Heading(0.0),
+            Cardinal::North => Heading(FRAC_PI_2),
+            Cardinal::West => Heading(PI),
+            Cardinal::South => Heading(-FRAC_PI_2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_wraps_into_half_open_range() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-PI) - PI).abs() < 1e-12); // -π maps to +π
+        assert!((normalize_angle(0.1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinal_roundtrip() {
+        for c in Cardinal::ALL {
+            let h: Heading = c.into();
+            assert_eq!(h.to_cardinal(), c);
+            assert_eq!(c.opposite().opposite(), c);
+            let (dx, dy) = c.grid_offset();
+            assert_eq!(c.unit().x as i64, dx);
+            assert_eq!(c.unit().y as i64, dy);
+        }
+    }
+
+    #[test]
+    fn heading_of_vectors() {
+        let h = Heading::of(Vec2::new(0.0, 5.0)).unwrap();
+        assert_eq!(h.to_cardinal(), Cardinal::North);
+        assert!(Heading::of(Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn angle_to_is_symmetric_and_bounded() {
+        let a = Heading::new(0.2);
+        let b = Heading::new(-2.9);
+        assert!((a.angle_to(b) - b.angle_to(a)).abs() < 1e-12);
+        assert!(a.angle_to(b) <= PI);
+    }
+
+    #[test]
+    fn turn_classification() {
+        let e: Heading = Cardinal::East.into();
+        let n: Heading = Cardinal::North.into();
+        let w: Heading = Cardinal::West.into();
+        assert_eq!(classify_turn(e, e), TurnKind::Straight);
+        assert_eq!(classify_turn(e, n), TurnKind::Turn);
+        assert_eq!(classify_turn(e, w), TurnKind::UTurn);
+        // A slight drift stays "straight".
+        assert_eq!(classify_turn(e, Heading::new(0.3)), TurnKind::Straight);
+    }
+
+    #[test]
+    fn diagonal_maps_to_nearest_cardinal() {
+        // 30° above east is still east; 60° is north.
+        assert_eq!(Heading::new(PI / 6.0).to_cardinal(), Cardinal::East);
+        assert_eq!(Heading::new(PI / 3.0).to_cardinal(), Cardinal::North);
+    }
+}

@@ -1,0 +1,108 @@
+//! # vanet-geo — geometry primitives and spatial indexing
+//!
+//! The coordinate layer under the HLSRG reproduction: a local Cartesian frame in
+//! meters (x east, y north), with
+//!
+//! * [`Point`] / [`Vec2`] — positions and displacements,
+//! * [`Segment`] — road pieces with projection/arclength helpers,
+//! * [`BBox`] — half-open rectangles that tile the plane (grid cells),
+//! * [`Heading`] / [`Cardinal`] / [`TurnKind`] — direction math for the update rules
+//!   and directional geo-broadcast,
+//! * [`SpatialHash`] — O(1) amortized "who is within radio range" queries.
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod heading;
+pub mod point;
+pub mod segment;
+pub mod spatial;
+
+pub use bbox::BBox;
+pub use heading::{classify_turn, normalize_angle, Cardinal, Heading, TurnKind};
+pub use point::{Point, Vec2};
+pub use segment::Segment;
+pub use spatial::SpatialHash;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt() -> impl Strategy<Value = Point> {
+        (-5_000.0f64..5_000.0, -5_000.0f64..5_000.0).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        /// Triangle inequality for point distance.
+        #[test]
+        fn triangle_inequality(a in pt(), b in pt(), c in pt()) {
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        /// Projection really is the closest point on the segment.
+        #[test]
+        fn projection_minimizes_distance(a in pt(), b in pt(), p in pt(), t in 0.0f64..1.0) {
+            let s = Segment::new(a, b);
+            let best = s.distance_to(p);
+            let other = s.a.lerp(s.b, t).distance(p);
+            prop_assert!(best <= other + 1e-9);
+        }
+
+        /// Spatial hash range query agrees with brute force.
+        #[test]
+        fn spatial_hash_matches_bruteforce(
+            points in proptest::collection::vec(pt(), 0..60),
+            center in pt(),
+            radius in 1.0f64..2_000.0,
+        ) {
+            let mut h = SpatialHash::new(250.0);
+            for (i, &p) in points.iter().enumerate() {
+                h.upsert(i as u64, p);
+            }
+            let got = h.query_radius(center, radius);
+            let mut expected: Vec<u64> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| center.distance(p) < radius)
+                .map(|(i, _)| i as u64)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Normalized headings stay in (-π, π] and unit vectors have length 1.
+        #[test]
+        fn heading_normalization(a in -100.0f64..100.0) {
+            let h = Heading::new(a);
+            prop_assert!(h.radians() > -std::f64::consts::PI - 1e-12);
+            prop_assert!(h.radians() <= std::f64::consts::PI + 1e-12);
+            prop_assert!((h.unit().length() - 1.0).abs() < 1e-9);
+        }
+
+        /// BBox containment respects half-open tiling: every point belongs to
+        /// exactly one cell of a uniform grid.
+        #[test]
+        fn grid_tiling_unique(p in pt()) {
+            let cell = 500.0;
+            let mut owners = 0;
+            let ix = (p.x / cell).floor() as i64;
+            let iy = (p.y / cell).floor() as i64;
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let (gx, gy) = (ix + dx, iy + dy);
+                    let b = BBox::new(
+                        gx as f64 * cell,
+                        gy as f64 * cell,
+                        (gx + 1) as f64 * cell,
+                        (gy + 1) as f64 * cell,
+                    );
+                    if b.contains(p) {
+                        owners += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(owners, 1);
+        }
+    }
+}

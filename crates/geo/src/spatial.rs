@@ -1,0 +1,198 @@
+//! Uniform-grid spatial hash for neighbor queries.
+//!
+//! The radio layer asks "which nodes are within 500 m of here?" for every
+//! transmission. A bucket grid with cell size equal to the query radius answers that
+//! by scanning at most a 3×3 block of buckets — O(1) amortized for uniform traffic.
+
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// A spatial hash mapping integer keys (node ids) to positions.
+///
+/// Cell size should be on the order of the common query radius.
+#[derive(Debug, Clone)]
+pub struct SpatialHash {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<u64>>,
+    positions: HashMap<u64, Point>,
+}
+
+impl SpatialHash {
+    /// Creates a hash with the given bucket edge length in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "invalid cell size"
+        );
+        SpatialHash {
+            cell: cell_size,
+            buckets: HashMap::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Number of tracked ids.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Current position of `id`, if tracked.
+    pub fn position(&self, id: u64) -> Option<Point> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Inserts `id` at `p`, or moves it there if already tracked.
+    pub fn upsert(&mut self, id: u64, p: Point) {
+        let new_key = self.key(p);
+        if let Some(old) = self.positions.insert(id, p) {
+            let old_key = self.key(old);
+            if old_key == new_key {
+                return;
+            }
+            remove_from_bucket(&mut self.buckets, old_key, id);
+        }
+        self.buckets.entry(new_key).or_default().push(id);
+    }
+
+    /// Removes `id`; returns its last position if it was tracked.
+    pub fn remove(&mut self, id: u64) -> Option<Point> {
+        let p = self.positions.remove(&id)?;
+        let key = self.key(p);
+        remove_from_bucket(&mut self.buckets, key, id);
+        Some(p)
+    }
+
+    /// All ids strictly within `radius` of `center` (excluding none — the caller
+    /// filters out the querying node itself if needed). Order is deterministic:
+    /// sorted by id.
+    pub fn query_radius(&self, center: Point, radius: f64) -> Vec<u64> {
+        let mut out = self.query_radius_unsorted(center, radius);
+        out.sort_unstable();
+        out
+    }
+
+    /// Like [`query_radius`](Self::query_radius) but without the deterministic sort —
+    /// for callers that re-sort or fold commutatively.
+    pub fn query_radius_unsorted(&self, center: Point, radius: f64) -> Vec<u64> {
+        let r_cells = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = self.key(center);
+        let r_sq = radius * radius;
+        let mut out = Vec::new();
+        for bx in (cx - r_cells)..=(cx + r_cells) {
+            for by in (cy - r_cells)..=(cy + r_cells) {
+                if let Some(ids) = self.buckets.get(&(bx, by)) {
+                    for &id in ids {
+                        let p = self.positions[&id];
+                        if center.distance_sq(p) < r_sq {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The tracked id nearest to `center`, if any, with its distance.
+    ///
+    /// Falls back to a full scan; use for infrequent queries (e.g. picking a cell
+    /// leader), not per-packet work.
+    pub fn nearest(&self, center: Point) -> Option<(u64, f64)> {
+        self.positions
+            .iter()
+            .map(|(&id, &p)| (id, center.distance(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+    }
+
+    /// Iterates over all tracked `(id, position)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Point)> + '_ {
+        self.positions.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+fn remove_from_bucket(buckets: &mut HashMap<(i64, i64), Vec<u64>>, key: (i64, i64), id: u64) {
+    if let Some(v) = buckets.get_mut(&key) {
+        if let Some(i) = v.iter().position(|&x| x == id) {
+            v.swap_remove(i);
+        }
+        if v.is_empty() {
+            buckets.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_remove() {
+        let mut h = SpatialHash::new(100.0);
+        h.upsert(1, Point::new(0.0, 0.0));
+        h.upsert(2, Point::new(50.0, 0.0));
+        h.upsert(3, Point::new(500.0, 0.0));
+        assert_eq!(h.query_radius(Point::ORIGIN, 100.0), vec![1, 2]);
+        h.remove(2);
+        assert_eq!(h.query_radius(Point::ORIGIN, 100.0), vec![1]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn radius_is_strict() {
+        let mut h = SpatialHash::new(10.0);
+        h.upsert(1, Point::new(10.0, 0.0));
+        assert!(h.query_radius(Point::ORIGIN, 10.0).is_empty());
+        assert_eq!(h.query_radius(Point::ORIGIN, 10.0 + 1e-9), vec![1]);
+    }
+
+    #[test]
+    fn upsert_moves_across_buckets() {
+        let mut h = SpatialHash::new(10.0);
+        h.upsert(7, Point::new(5.0, 5.0));
+        h.upsert(7, Point::new(95.0, 95.0));
+        assert!(h.query_radius(Point::new(5.0, 5.0), 3.0).is_empty());
+        assert_eq!(h.query_radius(Point::new(95.0, 95.0), 3.0), vec![7]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut h = SpatialHash::new(50.0);
+        h.upsert(1, Point::new(-120.0, -30.0));
+        assert_eq!(h.query_radius(Point::new(-100.0, -30.0), 25.0), vec![1]);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_id() {
+        let mut h = SpatialHash::new(10.0);
+        h.upsert(5, Point::new(1.0, 0.0));
+        h.upsert(2, Point::new(-1.0, 0.0));
+        assert_eq!(h.nearest(Point::ORIGIN), Some((2, 1.0)));
+        assert_eq!(SpatialHash::new(1.0).nearest(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn query_results_sorted() {
+        let mut h = SpatialHash::new(10.0);
+        for id in [9u64, 3, 7, 1] {
+            h.upsert(id, Point::new(id as f64, 0.0));
+        }
+        assert_eq!(h.query_radius(Point::ORIGIN, 100.0), vec![1, 3, 7, 9]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-road traffic measurement.
+//!
+//! The paper selects main arteries by *observing* traffic ("we count the number of
+//! vehicles from Google Map"). `TrafficCensus` is that observation instrument: it
+//! accumulates vehicle-ticks per road segment while the mobility model runs, and
+//! the result feeds `vanet_roadnet::select_arteries`.
+
+use crate::vehicle::VehicleState;
+use serde::{Deserialize, Serialize};
+use vanet_roadnet::{RoadId, RoadNetwork};
+
+/// Accumulated per-road occupancy, in vehicle-ticks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficCensus {
+    counts: Vec<f64>,
+    ticks: u64,
+}
+
+impl TrafficCensus {
+    /// Creates a census for a map.
+    pub fn new(net: &RoadNetwork) -> Self {
+        TrafficCensus {
+            counts: vec![0.0; net.road_count()],
+            ticks: 0,
+        }
+    }
+
+    /// Records one tick's fleet state.
+    pub fn observe(&mut self, vehicles: &[VehicleState]) {
+        self.ticks += 1;
+        for v in vehicles {
+            self.counts[v.road.0 as usize] += 1.0;
+        }
+    }
+
+    /// Total observation ticks.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Raw vehicle-ticks per road (index = `RoadId`).
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Vehicle-ticks on one road.
+    pub fn on_road(&self, r: RoadId) -> f64 {
+        self.counts[r.0 as usize]
+    }
+
+    /// Mean vehicles present per tick on one road.
+    pub fn mean_occupancy(&self, r: RoadId) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.counts[r.0 as usize] / self.ticks as f64
+        }
+    }
+
+    /// Mean vehicle density (vehicles per meter) on one road.
+    pub fn density(&self, net: &RoadNetwork, r: RoadId) -> f64 {
+        self.mean_occupancy(r) / net.road(r).length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lights::{LightConfig, TrafficLights};
+    use crate::model::{MobilityConfig, MobilityModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_des::SimTime;
+    use vanet_roadnet::{generate_grid, GridMapSpec, RoadClass};
+
+    #[test]
+    fn totals_conserve_vehicles() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = MobilityModel::new(&net, MobilityConfig::default(), 60, &mut rng);
+        let mut census = TrafficCensus::new(&net);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            model.step(&net, &lights, now, &mut rng);
+            census.observe(model.vehicles());
+            now += model.config().tick;
+        }
+        assert_eq!(census.ticks(), 50);
+        let total: f64 = census.counts().iter().sum();
+        assert_eq!(total, 50.0 * 60.0);
+    }
+
+    #[test]
+    fn census_sees_the_artery_bias() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut model = MobilityModel::new(&net, MobilityConfig::default(), 400, &mut rng);
+        let mut census = TrafficCensus::new(&net);
+        let mut now = SimTime::ZERO;
+        for _ in 0..240 {
+            model.step(&net, &lights, now, &mut rng);
+            census.observe(model.vehicles());
+            now += model.config().tick;
+        }
+        // Mean density on arteries must exceed normal roads by a wide margin.
+        let mut artery = (0.0, 0.0);
+        let mut normal = (0.0, 0.0);
+        for r in net.roads() {
+            let acc = if r.class == RoadClass::Artery {
+                &mut artery
+            } else {
+                &mut normal
+            };
+            acc.0 += census.on_road(r.id);
+            acc.1 += r.length;
+        }
+        let artery_density = artery.0 / artery.1;
+        let normal_density = normal.0 / normal.1;
+        assert!(
+            artery_density > 4.0 * normal_density,
+            "artery {artery_density:.4} vs normal {normal_density:.4}"
+        );
+    }
+
+    #[test]
+    fn empty_census_is_zero() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let census = TrafficCensus::new(&net);
+        assert_eq!(census.mean_occupancy(RoadId(0)), 0.0);
+        assert_eq!(census.density(&net, RoadId(0)), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! # vanet-mobility — vehicular mobility model (VanetMobiSim substitute)
+//!
+//! Reproduces the macroscopic traffic behaviour the paper's evaluation depends on:
+//!
+//! * vehicles drive 0–60 km/h on the road graph and can never leave it,
+//! * two-phase traffic lights with the paper's 50 s red (see [`TrafficLights`]),
+//! * queueing behind leaders, so grid-center intersections accumulate stopped
+//!   vehicles — the L1 location servers,
+//! * artery-biased route choice giving the ~10× artery:normal density ratio that
+//!   makes HLSRG's update suppression pay off.
+//!
+//! The engine is time-stepped ([`MobilityModel::step`], default 500 ms) and emits a
+//! [`MoveSample`] per vehicle per tick; protocols consume those samples.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod lights;
+pub mod map_match;
+pub mod model;
+pub mod ns2_trace;
+pub mod route;
+pub mod trips;
+pub mod vehicle;
+
+pub use census::TrafficCensus;
+pub use lights::{LightConfig, TrafficLights};
+pub use map_match::{MapMatcher, Match, TraceReplay};
+pub use model::{MobilityConfig, MobilityModel};
+pub use ns2_trace::{Ns2Trace, SetDest};
+pub use route::{choose_next_road, spawn_vehicles, RouteConfig};
+pub use trips::{TripConfig, TripPlan};
+pub use vehicle::{MoveSample, TurnEvent, VehicleId, VehicleState};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_des::SimTime;
+    use vanet_roadnet::{generate_grid, GridMapSpec};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Whatever the seed and fleet size, after a minute of simulation every
+        /// vehicle is still glued to a road and under its speed limit.
+        #[test]
+        fn fleet_invariants(seed in 0u64..50, n in 1usize..120) {
+            let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+            let lights = TrafficLights::new(&net, LightConfig::default());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut model = MobilityModel::new(&net, MobilityConfig::default(), n, &mut rng);
+            let dt = model.config().tick;
+            let max_speed = model.config().max_speed;
+            let mut now = SimTime::ZERO;
+            for _ in 0..120 {
+                let samples = model.step(&net, &lights, now, &mut rng);
+                prop_assert_eq!(samples.len(), n);
+                for s in samples {
+                    // A tick moves a vehicle at most max_speed × dt (+ε).
+                    let d = s.old_pos.distance(s.new_pos);
+                    prop_assert!(d <= max_speed * dt.as_secs_f64() + 1e-6);
+                }
+                now += dt;
+            }
+            for v in model.vehicles() {
+                let len = net.road(v.road).length;
+                prop_assert!(v.offset >= 0.0 && v.offset <= len);
+                prop_assert!(v.speed <= v.desired_speed + 1e-9);
+            }
+        }
+
+        /// Jittered maps keep the same invariants.
+        #[test]
+        fn jittered_map_fleet(seed in 0u64..20) {
+            let net = generate_grid(
+                &GridMapSpec::jittered(1000.0, 30.0),
+                &mut SmallRng::seed_from_u64(3),
+            );
+            let lights = TrafficLights::new(&net, LightConfig::default());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut model = MobilityModel::new(&net, MobilityConfig::default(), 60, &mut rng);
+            let dt = model.config().tick;
+            let mut now = SimTime::ZERO;
+            for _ in 0..60 {
+                model.step(&net, &lights, now, &mut rng);
+                now += dt;
+            }
+            for v in model.vehicles() {
+                prop_assert!(v.offset >= 0.0 && v.offset <= net.road(v.road).length);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Traffic lights.
+//!
+//! Every intersection runs a two-phase signal: east–west approaches get green while
+//! north–south approaches get red, then they swap. The paper sets the red phase to
+//! 50 s; we default green to 50 s as well. Phase offsets are staggered
+//! deterministically per intersection so the whole city doesn't switch in lockstep.
+//!
+//! Lights matter to HLSRG beyond realism: vehicles stopped at a grid-center
+//! intersection are the L1 location servers, so dwell time at red lights is part of
+//! why the protocol works.
+
+use serde::{Deserialize, Serialize};
+use vanet_des::{SimDuration, SimTime};
+use vanet_geo::Cardinal;
+use vanet_roadnet::{IntersectionId, RoadNetwork};
+
+/// Signal-plan parameters shared by every intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LightConfig {
+    /// Duration of the red phase seen by one axis (the paper's 50 s).
+    pub red: SimDuration,
+    /// Duration of the green phase (defaults to match red).
+    pub green: SimDuration,
+    /// If true, intersections get staggered phase offsets; if false they are all
+    /// synchronized (useful in tests).
+    pub staggered: bool,
+}
+
+impl Default for LightConfig {
+    fn default() -> Self {
+        LightConfig {
+            red: SimDuration::from_secs(50),
+            green: SimDuration::from_secs(50),
+            staggered: true,
+        }
+    }
+}
+
+/// The signal plan for a whole map.
+#[derive(Debug, Clone)]
+pub struct TrafficLights {
+    cfg: LightConfig,
+    /// Phase offset per intersection, in microseconds within the cycle.
+    offsets: Vec<u64>,
+    /// Intersections with fewer than 3 incident roads (map borders, corners,
+    /// mid-road nodes) have no signal: always green.
+    signalized: Vec<bool>,
+}
+
+impl TrafficLights {
+    /// Builds the plan for `net`.
+    pub fn new(net: &RoadNetwork, cfg: LightConfig) -> Self {
+        let cycle = cfg.red.as_micros() + cfg.green.as_micros();
+        assert!(cycle > 0, "light cycle must be positive");
+        let n = net.intersection_count();
+        let mut offsets = Vec::with_capacity(n);
+        let mut signalized = Vec::with_capacity(n);
+        for i in 0..n {
+            // Deterministic stagger: spread offsets across the cycle by a SplitMix
+            // hash of the id so neighbors don't correlate.
+            let off = if cfg.staggered {
+                vanet_des::splitmix64(i as u64) % cycle
+            } else {
+                0
+            };
+            offsets.push(off);
+            signalized.push(net.incident_roads(IntersectionId(i as u32)).len() >= 3);
+        }
+        TrafficLights {
+            cfg,
+            offsets,
+            signalized,
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> LightConfig {
+        self.cfg
+    }
+
+    /// True if `node` has a working signal (≥3 incident roads).
+    pub fn is_signalized(&self, node: IntersectionId) -> bool {
+        self.signalized[node.0 as usize]
+    }
+
+    /// True if a vehicle arriving at `node` heading `approach` may proceed at `now`.
+    ///
+    /// Phase A (first `green` of the cycle) is green for east/west approaches;
+    /// phase B is green for north/south. Unsignalized intersections are always green.
+    pub fn is_green(&self, node: IntersectionId, approach: Cardinal, now: SimTime) -> bool {
+        if !self.signalized[node.0 as usize] {
+            return true;
+        }
+        let cycle = self.cfg.red.as_micros() + self.cfg.green.as_micros();
+        let t = (now.as_micros() + self.offsets[node.0 as usize]) % cycle;
+        let ew_green = t < self.cfg.green.as_micros();
+        match approach {
+            Cardinal::East | Cardinal::West => ew_green,
+            Cardinal::North | Cardinal::South => !ew_green,
+        }
+    }
+
+    /// Time until `node` next turns green for `approach` (zero if already green).
+    pub fn time_to_green(
+        &self,
+        node: IntersectionId,
+        approach: Cardinal,
+        now: SimTime,
+    ) -> SimDuration {
+        if self.is_green(node, approach, now) {
+            return SimDuration::ZERO;
+        }
+        let cycle = self.cfg.red.as_micros() + self.cfg.green.as_micros();
+        let t = (now.as_micros() + self.offsets[node.0 as usize]) % cycle;
+        let green_us = self.cfg.green.as_micros();
+        // If EW is green (t < green_us) then NS waits until green_us; otherwise EW
+        // waits until the cycle wraps.
+        let wait = if t < green_us {
+            green_us - t
+        } else {
+            cycle - t
+        };
+        SimDuration::from_micros(wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_roadnet::{generate_grid, GridMapSpec};
+
+    fn lights(staggered: bool) -> (RoadNetwork, TrafficLights) {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let cfg = LightConfig {
+            staggered,
+            ..LightConfig::default()
+        };
+        let l = TrafficLights::new(&net, cfg);
+        (net, l)
+    }
+
+    /// An interior node of the 500 m paper map (4 incident roads).
+    const INTERIOR: IntersectionId = IntersectionId(6);
+    /// The SW corner (2 incident roads → unsignalized).
+    const CORNER: IntersectionId = IntersectionId(0);
+
+    #[test]
+    fn corner_is_always_green() {
+        let (_, l) = lights(false);
+        assert!(!l.is_signalized(CORNER));
+        for s in [0u64, 30, 75, 120] {
+            assert!(l.is_green(CORNER, Cardinal::North, SimTime::from_secs(s)));
+        }
+    }
+
+    #[test]
+    fn phases_alternate_and_axes_oppose() {
+        let (_, l) = lights(false);
+        assert!(l.is_signalized(INTERIOR));
+        let early = SimTime::from_secs(10); // within first green
+        let late = SimTime::from_secs(60); // within second phase
+        assert!(l.is_green(INTERIOR, Cardinal::East, early));
+        assert!(!l.is_green(INTERIOR, Cardinal::North, early));
+        assert!(!l.is_green(INTERIOR, Cardinal::East, late));
+        assert!(l.is_green(INTERIOR, Cardinal::North, late));
+        // Opposing approaches share a phase.
+        assert_eq!(
+            l.is_green(INTERIOR, Cardinal::East, early),
+            l.is_green(INTERIOR, Cardinal::West, early)
+        );
+    }
+
+    #[test]
+    fn cycle_repeats() {
+        let (_, l) = lights(false);
+        for s in 0..200u64 {
+            assert_eq!(
+                l.is_green(INTERIOR, Cardinal::East, SimTime::from_secs(s)),
+                l.is_green(INTERIOR, Cardinal::East, SimTime::from_secs(s + 100))
+            );
+        }
+    }
+
+    #[test]
+    fn time_to_green_is_exact() {
+        let (_, l) = lights(false);
+        let t = SimTime::from_secs(10);
+        let w = l.time_to_green(INTERIOR, Cardinal::North, t);
+        assert_eq!(w, SimDuration::from_secs(40));
+        // And green exactly then, red the instant before.
+        assert!(l.is_green(INTERIOR, Cardinal::North, t + w));
+        assert!(!l.is_green(
+            INTERIOR,
+            Cardinal::North,
+            t + w - SimDuration::from_micros(1)
+        ));
+        assert_eq!(
+            l.time_to_green(INTERIOR, Cardinal::East, t),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn stagger_spreads_offsets() {
+        let (net, l) = lights(true);
+        let t = SimTime::from_secs(10);
+        let greens = (0..net.intersection_count() as u32)
+            .filter(|&i| l.is_signalized(IntersectionId(i)))
+            .filter(|&i| l.is_green(IntersectionId(i), Cardinal::East, t))
+            .count();
+        let signalized = (0..net.intersection_count() as u32)
+            .filter(|&i| l.is_signalized(IntersectionId(i)))
+            .count();
+        // With offsets spread over the cycle, not everyone shares a phase.
+        assert!(greens > 0 && greens < signalized);
+    }
+
+    #[test]
+    fn asymmetric_red_green() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let cfg = LightConfig {
+            red: SimDuration::from_secs(50),
+            green: SimDuration::from_secs(25),
+            staggered: false,
+        };
+        let l = TrafficLights::new(&net, cfg);
+        // EW green for the first 25 s only; cycle is 75 s.
+        assert!(l.is_green(INTERIOR, Cardinal::East, SimTime::from_secs(10)));
+        assert!(!l.is_green(INTERIOR, Cardinal::East, SimTime::from_secs(30)));
+        assert!(l.is_green(INTERIOR, Cardinal::East, SimTime::from_secs(80)));
+    }
+}

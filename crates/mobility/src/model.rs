@@ -1,0 +1,585 @@
+//! The mobility stepping engine.
+//!
+//! A time-stepped kinematic model (default Δ = 500 ms) playing the role of
+//! VanetMobiSim: vehicles accelerate toward their desired speed, queue behind leaders
+//! on the same directed road, stop at red lights, and pick their next road at each
+//! intersection with the weighted random-turn model of [`crate::route`].
+//!
+//! Each tick yields one [`MoveSample`] per vehicle; the location-service protocols
+//! consume those samples to apply their update rules (turn detection, boundary
+//! crossings).
+
+use crate::lights::TrafficLights;
+use crate::route::{choose_next_road, spawn_vehicles, RouteConfig};
+use crate::trips::{TripConfig, TripPlan};
+use crate::vehicle::{MoveSample, TurnEvent, VehicleState};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vanet_des::{SimDuration, SimTime};
+use vanet_geo::classify_turn;
+use vanet_roadnet::{IntersectionId, RoadId, RoadNetwork};
+
+/// Parameters of the mobility model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Step length. 500 ms resolves every intersection event on 125 m blocks.
+    pub tick: SimDuration,
+    /// Acceleration toward desired speed, m/s².
+    pub accel: f64,
+    /// Minimum bumper-to-bumper spacing behind a leader, meters.
+    pub min_gap: f64,
+    /// Minimum desired speed at spawn, m/s.
+    pub min_speed: f64,
+    /// Maximum desired speed at spawn, m/s (the paper's 60 km/h ≈ 16.7 m/s).
+    pub max_speed: f64,
+    /// Route-choice weights (random-turn model; also drives spawn placement).
+    pub route: RouteConfig,
+    /// When set, vehicles follow origin–destination trips (VanetMobiSim style)
+    /// instead of memoryless random turns.
+    pub trips: Option<TripConfig>,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig {
+            tick: SimDuration::from_millis(500),
+            accel: 2.0,
+            min_gap: 7.0,
+            min_speed: 10.0 / 3.6,
+            max_speed: 60.0 / 3.6,
+            route: RouteConfig::default(),
+            trips: None,
+        }
+    }
+}
+
+/// The mobility engine: owns every vehicle's state and advances them tick by tick.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    cfg: MobilityConfig,
+    vehicles: Vec<VehicleState>,
+    samples: Vec<MoveSample>,
+    /// Per-vehicle trip plans (empty unless `cfg.trips` is set).
+    plans: Vec<TripPlan>,
+}
+
+impl MobilityModel {
+    /// Spawns `n` vehicles on `net` and builds the engine.
+    pub fn new(net: &RoadNetwork, cfg: MobilityConfig, n: usize, rng: &mut SmallRng) -> Self {
+        let vehicles = spawn_vehicles(net, &cfg.route, n, cfg.min_speed, cfg.max_speed, rng);
+        let plans = vec![TripPlan::default(); n];
+        MobilityModel {
+            cfg,
+            vehicles,
+            samples: Vec::with_capacity(n),
+            plans,
+        }
+    }
+
+    /// Builds the engine from pre-constructed vehicle states (tests, replays).
+    pub fn from_states(cfg: MobilityConfig, vehicles: Vec<VehicleState>) -> Self {
+        let n = vehicles.len();
+        let plans = vec![TripPlan::default(); n];
+        MobilityModel {
+            cfg,
+            vehicles,
+            samples: Vec::with_capacity(n),
+            plans,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MobilityConfig {
+        &self.cfg
+    }
+
+    /// Current state of every vehicle, by id order.
+    pub fn vehicles(&self) -> &[VehicleState] {
+        &self.vehicles
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// True if the model has no vehicles.
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// A zero-motion sample per vehicle describing its current state — used to
+    /// bootstrap protocols at t = 0 (vehicles "register" when joining the network).
+    pub fn snapshot(&self, net: &RoadNetwork) -> Vec<MoveSample> {
+        self.vehicles
+            .iter()
+            .map(|v| {
+                let pos = v.position(net);
+                MoveSample {
+                    id: v.id,
+                    old_pos: pos,
+                    new_pos: pos,
+                    road: v.road,
+                    from: v.from,
+                    road_class: v.road_class(net),
+                    heading: v.heading(net),
+                    speed: v.speed,
+                    turn: None,
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of vehicles currently on artery roads.
+    pub fn artery_share(&self, net: &RoadNetwork) -> f64 {
+        if self.vehicles.is_empty() {
+            return 0.0;
+        }
+        let on = self
+            .vehicles
+            .iter()
+            .filter(|v| v.road_class(net) == vanet_roadnet::RoadClass::Artery)
+            .count();
+        on as f64 / self.vehicles.len() as f64
+    }
+
+    /// Advances every vehicle by one tick starting at `now`, returning one sample per
+    /// vehicle (in id order).
+    pub fn step(
+        &mut self,
+        net: &RoadNetwork,
+        lights: &TrafficLights,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> &[MoveSample] {
+        let dt = self.cfg.tick.as_secs_f64();
+        // Leader constraint uses everyone's *old* offset: stable and order-free.
+        let mut lanes: HashMap<(RoadId, IntersectionId), Vec<(f64, usize)>> = HashMap::new();
+        for (i, v) in self.vehicles.iter().enumerate() {
+            lanes
+                .entry((v.road, v.from))
+                .or_default()
+                .push((v.offset, i));
+        }
+        // `cap[i]` = max offset vehicle i may reach this tick due to its leader.
+        let mut cap = vec![f64::INFINITY; self.vehicles.len()];
+        for lane in lanes.values_mut() {
+            lane.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            for w in lane.windows(2) {
+                let (leader_off, _) = w[0];
+                let (_, follower) = w[1];
+                cap[follower] = leader_off - self.cfg.min_gap;
+            }
+        }
+
+        self.samples.clear();
+        #[allow(clippy::needless_range_loop)] // i indexes vehicles, plans, and cap
+        for i in 0..self.vehicles.len() {
+            let v = self.vehicles[i];
+            let old_pos = v.position(net);
+            let mut road = v.road;
+            let mut from = v.from;
+            let mut offset = v.offset;
+            let mut turn: Option<TurnEvent> = None;
+
+            let target_speed = (v.speed + self.cfg.accel * dt).min(v.desired_speed);
+            let mut advance = target_speed * dt;
+            // Honor the leader gap (never move backward because of it).
+            if offset + advance > cap[i] {
+                advance = (cap[i] - offset).max(0.0);
+            }
+
+            let len = net.road(road).length;
+            if offset + advance >= len && turnable(net, lights, road, from, now) {
+                // Cross the intersection: pick the next road, carry leftover motion.
+                let at = net.other_end(road, from);
+                let arrive = net.heading_from(road, from);
+                let next = match self.cfg.trips {
+                    None => choose_next_road(net, &self.cfg.route, at, road, rng),
+                    Some(trip_cfg) => {
+                        // Trip mode: follow the plan, replanning at the
+                        // destination (or when the plan went stale). A plan that
+                        // cannot be built falls back to one random turn.
+                        match self.plans[i].next_road(net, at) {
+                            Some(r) => r,
+                            None => {
+                                self.plans[i].replan(net, &trip_cfg, at, rng);
+                                self.plans[i].next_road(net, at).unwrap_or_else(|| {
+                                    choose_next_road(net, &self.cfg.route, at, road, rng)
+                                })
+                            }
+                        }
+                    }
+                };
+                let leave = net.heading_from(next, at);
+                turn = Some(TurnEvent {
+                    at,
+                    from_road: road,
+                    to_road: next,
+                    kind: classify_turn(arrive, leave),
+                    from_class: net.road(road).class,
+                    onto_class: net.road(next).class,
+                });
+                let leftover = (offset + advance - len).max(0.0);
+                road = next;
+                from = at;
+                // Clamp so a single tick never skips the whole next road.
+                offset = leftover.min(net.road(next).length - 1e-6);
+            } else {
+                // Either staying on the road or blocked at a red light.
+                offset = (offset + advance).min(len);
+            }
+
+            let v_mut = &mut self.vehicles[i];
+            v_mut.road = road;
+            v_mut.from = from;
+            v_mut.offset = offset;
+            let new_pos = v_mut.position(net);
+            // Realized speed, from actual displacement along roads.
+            let moved = if turn.is_some() {
+                (net.road(v.road).length - v.offset) + offset
+            } else {
+                offset - v.offset
+            };
+            v_mut.speed = (moved / dt).max(0.0);
+
+            self.samples.push(MoveSample {
+                id: v.id,
+                old_pos,
+                new_pos,
+                road,
+                from,
+                road_class: net.road(road).class,
+                heading: net.heading_from(road, from),
+                speed: v_mut.speed,
+                turn,
+            });
+        }
+        &self.samples
+    }
+}
+
+/// May a vehicle on `road` (oriented from `from`) cross the far intersection at
+/// `now`? Green light or unsignalized node.
+fn turnable(
+    net: &RoadNetwork,
+    lights: &TrafficLights,
+    road: RoadId,
+    from: IntersectionId,
+    now: SimTime,
+) -> bool {
+    let end = net.other_end(road, from);
+    let approach = net.heading_from(road, from).to_cardinal();
+    lights.is_green(end, approach, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lights::LightConfig;
+    use crate::vehicle::VehicleId;
+    use rand::SeedableRng;
+    use vanet_geo::{Cardinal, Point};
+    use vanet_roadnet::{generate_grid, GridMapSpec, RoadClass};
+
+    fn setup(n: usize, seed: u64) -> (RoadNetwork, TrafficLights, MobilityModel, SmallRng) {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let model = MobilityModel::new(&net, MobilityConfig::default(), n, &mut rng);
+        (net, lights, model, rng)
+    }
+
+    fn run_ticks(
+        net: &RoadNetwork,
+        lights: &TrafficLights,
+        model: &mut MobilityModel,
+        rng: &mut SmallRng,
+        ticks: usize,
+    ) {
+        let dt = model.config().tick;
+        let mut now = SimTime::ZERO;
+        for _ in 0..ticks {
+            model.step(net, lights, now, rng);
+            now += dt;
+        }
+    }
+
+    #[test]
+    fn vehicles_stay_on_roads_and_within_speed() {
+        let (net, lights, mut model, mut rng) = setup(200, 1);
+        run_ticks(&net, &lights, &mut model, &mut rng, 400);
+        for v in model.vehicles() {
+            let len = net.road(v.road).length;
+            assert!(
+                v.offset >= 0.0 && v.offset <= len,
+                "offset {} of {}",
+                v.offset,
+                len
+            );
+            assert!(
+                v.speed <= v.desired_speed + 1e-6,
+                "speeding: {} > {}",
+                v.speed,
+                v.desired_speed
+            );
+            // On-road invariant: position is on the segment.
+            let seg = net.segment_from(v.road, v.from);
+            assert!(seg.distance_to(v.position(&net)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn red_light_stops_vehicle_at_intersection() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(
+            &net,
+            LightConfig {
+                staggered: false,
+                ..Default::default()
+            },
+        );
+        // Node (1,1) = id 6 is signalized; approach from the south on the vertical
+        // road: NS is red during the first 50 s phase.
+        let south = net.nearest_intersection(Point::new(125.0, 0.0));
+        let target = net.nearest_intersection(Point::new(125.0, 125.0));
+        let road = *net
+            .incident_roads(south)
+            .iter()
+            .find(|&&r| net.other_end(r, south) == target)
+            .unwrap();
+        let v = VehicleState {
+            id: VehicleId(0),
+            road,
+            from: south,
+            offset: 100.0,
+            speed: 14.0,
+            desired_speed: 14.0,
+        };
+        let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 10 s of ticks: it would cross 125 m easily if the light were green.
+        let dt = model.config().tick;
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            model.step(&net, &lights, now, &mut rng);
+            now += dt;
+        }
+        let v = model.vehicles()[0];
+        assert_eq!(v.road, road, "crossed against a red light");
+        assert_eq!(v.offset, net.road(road).length);
+        assert_eq!(v.speed, 0.0);
+        assert_eq!(v.position(&net), net.pos(target));
+    }
+
+    #[test]
+    fn green_light_crossing_emits_turn_event() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(
+            &net,
+            LightConfig {
+                staggered: false,
+                ..Default::default()
+            },
+        );
+        // Approach an interior node from the west: EW is green in phase A.
+        let west = net.nearest_intersection(Point::new(0.0, 125.0));
+        let target = net.nearest_intersection(Point::new(125.0, 125.0));
+        let road = *net
+            .incident_roads(west)
+            .iter()
+            .find(|&&r| net.other_end(r, west) == target)
+            .unwrap();
+        let v = VehicleState {
+            id: VehicleId(0),
+            road,
+            from: west,
+            offset: 120.0,
+            speed: 14.0,
+            desired_speed: 14.0,
+        };
+        let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples = model.step(&net, &lights, SimTime::ZERO, &mut rng);
+        let turn = samples[0].turn.expect("should have crossed");
+        assert_eq!(turn.at, target);
+        assert_eq!(turn.from_road, road);
+        assert_ne!(turn.to_road, road);
+        // Vehicle is now on the new road just past the intersection.
+        let v = model.vehicles()[0];
+        assert_eq!(v.from, target);
+        assert!(v.offset < 10.0);
+    }
+
+    #[test]
+    fn no_passing_within_a_lane() {
+        let (net, lights, mut model, mut rng) = setup(300, 3);
+        let dt = model.config().tick;
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            model.step(&net, &lights, now, &mut rng);
+            now += dt;
+            // After each tick, same-lane vehicles keep distinct offsets in order.
+            let mut lanes: HashMap<(RoadId, IntersectionId), Vec<f64>> = HashMap::new();
+            for v in model.vehicles() {
+                lanes.entry((v.road, v.from)).or_default().push(v.offset);
+            }
+            for (lane, mut offs) in lanes {
+                offs.sort_by(f64::total_cmp);
+                for w in offs.windows(2) {
+                    assert!(
+                        w[1] - w[0] >= -1e-9,
+                        "ordering broken on {lane:?}: {offs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn artery_share_persists_over_time() {
+        let (net, lights, mut model, mut rng) = setup(500, 4);
+        let initial = model.artery_share(&net);
+        assert!(initial > 0.7, "initial artery share {initial}");
+        run_ticks(&net, &lights, &mut model, &mut rng, 600); // 5 min
+        let after = model.artery_share(&net);
+        assert!(after > 0.6, "artery share decayed to {after}");
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let (net, lights, mut m1, mut r1) = setup(100, 9);
+        let (_, _, mut m2, mut r2) = setup(100, 9);
+        run_ticks(&net, &lights, &mut m1, &mut r1, 100);
+        run_ticks(&net, &lights, &mut m2, &mut r2, 100);
+        for (a, b) in m1.vehicles().iter().zip(m2.vehicles()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn samples_cover_every_vehicle_in_id_order() {
+        let (net, lights, mut model, mut rng) = setup(50, 5);
+        let samples = model.step(&net, &lights, SimTime::ZERO, &mut rng);
+        assert_eq!(samples.len(), 50);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.id, VehicleId(i as u32));
+        }
+    }
+
+    #[test]
+    fn stopped_vehicle_restarts_on_green() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(
+            &net,
+            LightConfig {
+                staggered: false,
+                ..Default::default()
+            },
+        );
+        let south = net.nearest_intersection(Point::new(125.0, 0.0));
+        let target = net.nearest_intersection(Point::new(125.0, 125.0));
+        let road = *net
+            .incident_roads(south)
+            .iter()
+            .find(|&&r| net.other_end(r, south) == target)
+            .unwrap();
+        let v = VehicleState {
+            id: VehicleId(0),
+            road,
+            from: south,
+            offset: 124.0,
+            speed: 10.0,
+            desired_speed: 10.0,
+        };
+        let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dt = model.config().tick;
+        // Wait through the 50 s red phase, then a few more ticks.
+        let mut crossed = false;
+        let mut now = SimTime::ZERO;
+        for _ in 0..120 {
+            let s = model.step(&net, &lights, now, &mut rng);
+            now += dt;
+            if s[0].turn.is_some() {
+                crossed = true;
+                assert!(now > SimTime::from_secs(50), "crossed during red");
+                break;
+            }
+        }
+        assert!(crossed, "never restarted after red");
+        assert!(lights.is_green(target, Cardinal::North, SimTime::from_secs(55)));
+    }
+
+    #[test]
+    fn trip_mode_keeps_invariants_and_artery_concentration() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let mut rng = SmallRng::seed_from_u64(21);
+        let cfg = MobilityConfig {
+            trips: Some(crate::trips::TripConfig::default()),
+            ..Default::default()
+        };
+        let mut model = MobilityModel::new(&net, cfg, 300, &mut rng);
+        let dt = model.config().tick;
+        let mut now = SimTime::ZERO;
+        for _ in 0..400 {
+            model.step(&net, &lights, now, &mut rng);
+            now += dt;
+        }
+        for v in model.vehicles() {
+            let len = net.road(v.road).length;
+            assert!(v.offset >= 0.0 && v.offset <= len);
+            assert!(v.speed <= v.desired_speed + 1e-6);
+        }
+        // The artery cost discount keeps traffic concentrated.
+        assert!(
+            model.artery_share(&net) > 0.5,
+            "share {}",
+            model.artery_share(&net)
+        );
+    }
+
+    #[test]
+    fn trip_mode_is_deterministic() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let cfg = MobilityConfig {
+            trips: Some(crate::trips::TripConfig::default()),
+            ..Default::default()
+        };
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut model = MobilityModel::new(&net, cfg, 80, &mut rng);
+            let mut now = SimTime::ZERO;
+            for _ in 0..100 {
+                model.step(&net, &lights, now, &mut rng);
+                now += model.config().tick;
+            }
+            model.vehicles().to_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn turn_events_record_classes() {
+        let (net, lights, mut model, mut rng) = setup(300, 6);
+        let dt = model.config().tick;
+        let mut now = SimTime::ZERO;
+        let mut seen_artery_turn = false;
+        for _ in 0..300 {
+            for s in model.step(&net, &lights, now, &mut rng) {
+                if let Some(t) = s.turn {
+                    assert_eq!(t.from_class, net.road(t.from_road).class);
+                    assert_eq!(t.onto_class, net.road(t.to_road).class);
+                    if t.onto_class == RoadClass::Artery {
+                        seen_artery_turn = true;
+                    }
+                }
+            }
+            now += dt;
+        }
+        assert!(seen_artery_turn);
+    }
+}

@@ -1,0 +1,270 @@
+//! ns-2 mobility-trace interchange.
+//!
+//! The paper's toolchain couples its two simulators through a file: "The
+//! VanetMobiSim can output a vehicle navigation scenario data for ns-2". That
+//! format is the classic ns-2 movement trace:
+//!
+//! ```text
+//! $node_(3) set X_ 125.0
+//! $node_(3) set Y_ 250.0
+//! $ns_ at 12.5 "$node_(3) setdest 300.0 250.0 10.0"
+//! ```
+//!
+//! [`Ns2Trace`] records a mobility run into that format (so external ns-2
+//! tooling can replay our traffic) and parses it back (so traces produced by the
+//! real VanetMobiSim can be inspected with this crate's tools).
+
+use crate::lights::TrafficLights;
+use crate::model::MobilityModel;
+use crate::vehicle::VehicleId;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use vanet_des::{SimDuration, SimTime};
+use vanet_geo::Point;
+use vanet_roadnet::RoadNetwork;
+
+/// One `setdest` command: at `at`, node `node` heads for `dest` at `speed` m/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetDest {
+    /// Command time in seconds.
+    pub at: f64,
+    /// The vehicle.
+    pub node: VehicleId,
+    /// Target waypoint.
+    pub dest: Point,
+    /// Commanded speed, m/s.
+    pub speed: f64,
+}
+
+/// A parsed or recorded ns-2 movement trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ns2Trace {
+    /// Initial position per vehicle (dense by `VehicleId`).
+    pub initial: Vec<Point>,
+    /// Movement commands in time order.
+    pub commands: Vec<SetDest>,
+}
+
+impl Ns2Trace {
+    /// Records `ticks` steps of a mobility model as waypoint commands.
+    ///
+    /// Each tick where a vehicle's heading or speed changed materially becomes a
+    /// `setdest` toward its new position — the piecewise-linear approximation
+    /// VanetMobiSim itself emits.
+    pub fn record(
+        net: &RoadNetwork,
+        lights: &TrafficLights,
+        model: &mut MobilityModel,
+        ticks: usize,
+        rng: &mut SmallRng,
+    ) -> Ns2Trace {
+        let initial: Vec<Point> = model.vehicles().iter().map(|v| v.position(net)).collect();
+        let mut last_speed: Vec<f64> = model.vehicles().iter().map(|v| v.speed).collect();
+        let mut last_cmd: Vec<SimTime> = vec![SimTime::ZERO; model.vehicles().len()];
+        // Waypoints refresh at least this often even while cruising straight, so
+        // a replay never parks a vehicle for long between events.
+        let refresh = SimDuration::from_secs(2);
+        let mut commands = Vec::new();
+        let tick = model.config().tick;
+        let mut now = SimTime::ZERO;
+        for _ in 0..ticks {
+            let samples = model.step(net, lights, now, rng);
+            for s in samples {
+                let i = s.id.0 as usize;
+                let speed_changed = (s.speed - last_speed[i]).abs() > 0.5;
+                let stale = now.saturating_since(last_cmd[i]) >= refresh;
+                if s.turn.is_some() || speed_changed || stale {
+                    commands.push(SetDest {
+                        at: now.as_secs_f64(),
+                        node: s.id,
+                        dest: s.new_pos,
+                        speed: s.speed.max(0.01), // ns-2 rejects zero speeds
+                    });
+                    last_speed[i] = s.speed;
+                    last_cmd[i] = now;
+                }
+            }
+            now += tick;
+        }
+        Ns2Trace { initial, commands }
+    }
+
+    /// Serializes to ns-2 movement-trace text.
+    pub fn to_ns2_text(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.initial.iter().enumerate() {
+            let _ = writeln!(out, "$node_({i}) set X_ {}", p.x);
+            let _ = writeln!(out, "$node_({i}) set Y_ {}", p.y);
+        }
+        for c in &self.commands {
+            let _ = writeln!(
+                out,
+                "$ns_ at {} \"$node_({}) setdest {} {} {}\"",
+                c.at, c.node.0, c.dest.x, c.dest.y, c.speed
+            );
+        }
+        out
+    }
+
+    /// Parses ns-2 movement-trace text (the subset VanetMobiSim emits: initial
+    /// `set X_`/`set Y_` pairs plus `setdest` commands). Unknown lines error.
+    pub fn from_ns2_text(text: &str) -> Result<Ns2Trace, String> {
+        let mut xs: Vec<(usize, f64)> = Vec::new();
+        let mut ys: Vec<(usize, f64)> = Vec::new();
+        let mut commands = Vec::new();
+        for (ix, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |m: &str| format!("line {}: {m}", ix + 1);
+            if let Some(rest) = line.strip_prefix("$node_(") {
+                // $node_(I) set X_ V
+                let (id, rest) = rest
+                    .split_once(')')
+                    .ok_or_else(|| err("malformed node id"))?;
+                let id: usize = id.parse().map_err(|_| err("bad node id"))?;
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                match fields.as_slice() {
+                    ["set", "X_", v] => {
+                        xs.push((id, v.parse().map_err(|_| err("bad X"))?));
+                    }
+                    ["set", "Y_", v] => {
+                        ys.push((id, v.parse().map_err(|_| err("bad Y"))?));
+                    }
+                    _ => return Err(err("unknown node directive")),
+                }
+            } else if let Some(rest) = line.strip_prefix("$ns_ at ") {
+                // $ns_ at T "$node_(I) setdest X Y S"
+                let (t, rest) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("malformed at-command"))?;
+                let at: f64 = t.parse().map_err(|_| err("bad time"))?;
+                let body = rest.trim().trim_matches('"');
+                let body = body
+                    .strip_prefix("$node_(")
+                    .ok_or_else(|| err("missing node in setdest"))?;
+                let (id, body) = body
+                    .split_once(')')
+                    .ok_or_else(|| err("malformed setdest node"))?;
+                let id: usize = id.parse().map_err(|_| err("bad setdest node id"))?;
+                let fields: Vec<&str> = body.split_whitespace().collect();
+                match fields.as_slice() {
+                    ["setdest", x, y, s] => commands.push(SetDest {
+                        at,
+                        node: VehicleId(id as u32),
+                        dest: Point::new(
+                            x.parse().map_err(|_| err("bad dest x"))?,
+                            y.parse().map_err(|_| err("bad dest y"))?,
+                        ),
+                        speed: s.parse().map_err(|_| err("bad speed"))?,
+                    }),
+                    _ => return Err(err("unknown ns command")),
+                }
+            } else {
+                return Err(err("unknown directive"));
+            }
+        }
+        let n = xs.len().max(ys.len());
+        let mut initial = vec![Point::ORIGIN; n];
+        for (i, x) in xs {
+            if i >= n {
+                return Err(format!("X_ for out-of-range node {i}"));
+            }
+            initial[i].x = x;
+        }
+        for (i, y) in ys {
+            if i >= n {
+                return Err(format!("Y_ for out-of-range node {i}"));
+            }
+            initial[i].y = y;
+        }
+        Ok(Ns2Trace { initial, commands })
+    }
+
+    /// The trace's time horizon (last command time).
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.commands.last().map(|c| c.at).unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lights::LightConfig;
+    use crate::model::MobilityConfig;
+    use rand::SeedableRng;
+    use vanet_roadnet::{generate_grid, GridMapSpec};
+
+    fn recorded() -> Ns2Trace {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let lights = TrafficLights::new(&net, LightConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = MobilityModel::new(&net, MobilityConfig::default(), 40, &mut rng);
+        Ns2Trace::record(&net, &lights, &mut model, 120, &mut rng)
+    }
+
+    #[test]
+    fn recording_produces_commands() {
+        let tr = recorded();
+        assert_eq!(tr.initial.len(), 40);
+        assert!(!tr.commands.is_empty());
+        // Commands are in non-decreasing time order.
+        for w in tr.commands.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        assert!(tr.horizon() <= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let tr = recorded();
+        let text = tr.to_ns2_text();
+        let back = Ns2Trace::from_ns2_text(&text).unwrap();
+        assert_eq!(tr.initial.len(), back.initial.len());
+        assert_eq!(tr.commands.len(), back.commands.len());
+        for (a, b) in tr.initial.iter().zip(&back.initial) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in tr.commands.iter().zip(&back.commands) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_vanetmobisim_style() {
+        let text = "\
+$node_(0) set X_ 10.0
+$node_(0) set Y_ 20.0
+$node_(1) set X_ 30.5
+$node_(1) set Y_ 40.5
+$ns_ at 1.0 \"$node_(0) setdest 100.0 20.0 8.33\"
+$ns_ at 2.5 \"$node_(1) setdest 30.5 200.0 13.9\"
+";
+        let tr = Ns2Trace::from_ns2_text(text).unwrap();
+        assert_eq!(
+            tr.initial,
+            vec![Point::new(10.0, 20.0), Point::new(30.5, 40.5)]
+        );
+        assert_eq!(tr.commands.len(), 2);
+        assert_eq!(tr.commands[1].node, VehicleId(1));
+        assert_eq!(tr.commands[1].speed, 13.9);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = Ns2Trace::from_ns2_text("$node_(0) set X_ 1\nwat\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Ns2Trace::from_ns2_text("$node_(0) set Z_ 1\n").unwrap_err();
+        assert!(err.contains("unknown node directive"), "{err}");
+    }
+
+    #[test]
+    fn speeds_are_never_zero() {
+        let tr = recorded();
+        for c in &tr.commands {
+            assert!(c.speed > 0.0);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Route choice at intersections.
+//!
+//! The paper's traffic has two macroscopic properties the protocols depend on:
+//!
+//! 1. **Arteries dominate**: main arteries carry roughly tenfold the vehicle density
+//!    of normal roads ("almost 90 % \[of\] vehicles are driving on main arteries").
+//! 2. **Artery traffic flows straight**: the update-suppression rule only pays off if
+//!    artery vehicles usually continue straight rather than turning.
+//!
+//! We reproduce both with a weighted random-turn model: at each intersection a
+//! vehicle picks the next road with probability proportional to
+//! `class_weight × straightness_weight`, never U-turning unless the intersection is
+//! a dead end.
+
+use crate::vehicle::VehicleState;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use vanet_geo::{classify_turn, TurnKind};
+use vanet_roadnet::{IntersectionId, RoadClass, RoadId, RoadNetwork};
+
+/// Parameters of the weighted random-turn model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteConfig {
+    /// Weight multiplier for artery roads (the paper's ~10× density ratio).
+    pub artery_bias: f64,
+    /// Weight multiplier for continuing straight through an intersection.
+    pub straight_bias: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        // straight_bias 4 gives artery traffic a mean straight run of ~1.2 km
+        // between turns — consistent with the paper's table lifetimes (≈1000 m of
+        // driving) and with city traffic, where forced turns are frequent.
+        RouteConfig {
+            artery_bias: 10.0,
+            straight_bias: 4.0,
+        }
+    }
+}
+
+/// Chooses the next road for a vehicle arriving at intersection `at` off `incoming`.
+///
+/// Returns the chosen road. U-turns are excluded unless `incoming` is the only
+/// incident road.
+pub fn choose_next_road(
+    net: &RoadNetwork,
+    cfg: &RouteConfig,
+    at: IntersectionId,
+    incoming: RoadId,
+    rng: &mut SmallRng,
+) -> RoadId {
+    let candidates = net.incident_roads(at);
+    debug_assert!(candidates.contains(&incoming), "incoming road not incident");
+    if candidates.len() == 1 {
+        return incoming; // dead end: forced U-turn
+    }
+    // Heading we arrive with: driving toward `at`, i.e. from the other end.
+    let arrive_heading = net.heading_from(incoming, net.other_end(incoming, at));
+    let mut weights = Vec::with_capacity(candidates.len());
+    let mut total = 0.0;
+    for &rid in candidates {
+        if rid == incoming {
+            weights.push(0.0);
+            continue;
+        }
+        let leave_heading = net.heading_from(rid, at);
+        let class_w = match net.road(rid).class {
+            RoadClass::Artery => cfg.artery_bias,
+            RoadClass::Normal => 1.0,
+        };
+        let straight_w = match classify_turn(arrive_heading, leave_heading) {
+            TurnKind::Straight => cfg.straight_bias,
+            TurnKind::Turn => 1.0,
+            TurnKind::UTurn => 0.0, // geometric U-turn via a distinct road: skip
+        };
+        let w = class_w * straight_w;
+        weights.push(w);
+        total += w;
+    }
+    if total <= 0.0 {
+        // Every alternative was a U-turn-like road; fall back to any non-incoming.
+        return *candidates
+            .iter()
+            .find(|&&r| r != incoming)
+            .unwrap_or(&incoming);
+    }
+    let mut draw = rng.random_range(0.0..total);
+    for (&rid, &w) in candidates.iter().zip(&weights) {
+        if w <= 0.0 {
+            continue;
+        }
+        if draw < w {
+            return rid;
+        }
+        draw -= w;
+    }
+    // Floating-point tail: take the last weighted candidate.
+    *candidates
+        .iter()
+        .zip(&weights)
+        .rev()
+        .find(|(_, &w)| w > 0.0)
+        .map(|(r, _)| r)
+        .expect("total > 0 implies a weighted candidate")
+}
+
+/// Spawns `n` vehicles on roads weighted by `length × class weight`, with uniform
+/// offsets and desired speeds drawn from `[min_speed, max_speed]` m/s.
+pub fn spawn_vehicles(
+    net: &RoadNetwork,
+    cfg: &RouteConfig,
+    n: usize,
+    min_speed: f64,
+    max_speed: f64,
+    rng: &mut SmallRng,
+) -> Vec<VehicleState> {
+    use crate::vehicle::{VehicleId, VehicleState};
+    assert!(
+        max_speed >= min_speed && min_speed >= 0.0,
+        "invalid speed range"
+    );
+    let weights: Vec<f64> = net
+        .roads()
+        .iter()
+        .map(|r| {
+            r.length
+                * match r.class {
+                    RoadClass::Artery => cfg.artery_bias,
+                    RoadClass::Normal => 1.0,
+                }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut draw = rng.random_range(0.0..total);
+        let mut road = net.roads().last().expect("non-empty network").id;
+        for (r, &w) in net.roads().iter().zip(&weights) {
+            if draw < w {
+                road = r.id;
+                break;
+            }
+            draw -= w;
+        }
+        let r = net.road(road);
+        let from = if rng.random_bool(0.5) { r.a } else { r.b };
+        let offset = rng.random_range(0.0..r.length);
+        let desired_speed = if max_speed > min_speed {
+            rng.random_range(min_speed..max_speed)
+        } else {
+            min_speed
+        };
+        out.push(VehicleState {
+            id: VehicleId(i as u32),
+            road,
+            from,
+            offset,
+            speed: desired_speed, // start at cruise so warm-up is short
+            desired_speed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vanet_roadnet::{generate_grid, GridMapSpec};
+
+    fn net() -> RoadNetwork {
+        generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn never_uturns_at_four_way() {
+        let net = net();
+        let cfg = RouteConfig::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Interior node with 4 roads.
+        let at = net.nearest_intersection(vanet_geo::Point::new(500.0, 500.0));
+        assert!(net.incident_roads(at).len() == 4);
+        let incoming = net.incident_roads(at)[0];
+        for _ in 0..200 {
+            let next = choose_next_road(&net, &cfg, at, incoming, &mut rng);
+            assert_ne!(next, incoming);
+        }
+    }
+
+    #[test]
+    fn straight_bias_prefers_straight() {
+        let net = net();
+        let cfg = RouteConfig {
+            artery_bias: 1.0,
+            straight_bias: 10.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let at = net.nearest_intersection(vanet_geo::Point::new(500.0, 500.0));
+        let incoming = net.incident_roads(at)[0];
+        let arrive = net.heading_from(incoming, net.other_end(incoming, at));
+        let mut straight = 0;
+        let trials = 1000;
+        for _ in 0..trials {
+            let next = choose_next_road(&net, &cfg, at, incoming, &mut rng);
+            let leave = net.heading_from(next, at);
+            if classify_turn(arrive, leave) == TurnKind::Straight {
+                straight += 1;
+            }
+        }
+        // Expected share = 10 / 12 ≈ 0.83.
+        assert!(
+            straight > trials * 7 / 10,
+            "straight only {straight}/{trials}"
+        );
+    }
+
+    #[test]
+    fn spawn_respects_artery_bias() {
+        let net = net();
+        let cfg = RouteConfig::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let vehicles = spawn_vehicles(&net, &cfg, 4000, 2.0, 16.0, &mut rng);
+        assert_eq!(vehicles.len(), 4000);
+        let on_artery = vehicles
+            .iter()
+            .filter(|v| v.road_class(&net) == RoadClass::Artery)
+            .count();
+        // 1 km paper map: artery length 3×2×1000 = 6000 m of 18000 m total.
+        // Weighted share = 60000 / 72000 ≈ 0.83.
+        let share = on_artery as f64 / vehicles.len() as f64;
+        assert!((0.75..0.92).contains(&share), "artery share {share}");
+    }
+
+    #[test]
+    fn spawned_vehicles_are_valid() {
+        let net = net();
+        let cfg = RouteConfig::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for v in spawn_vehicles(&net, &cfg, 500, 2.0, 16.0, &mut rng) {
+            let r = net.road(v.road);
+            assert!(v.offset >= 0.0 && v.offset < r.length);
+            assert!(v.desired_speed >= 2.0 && v.desired_speed <= 16.0);
+            assert!(v.from == r.a || v.from == r.b);
+        }
+    }
+
+    #[test]
+    fn dead_end_forces_uturn() {
+        use vanet_roadnet::RoadNetworkBuilder;
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_intersection(vanet_geo::Point::new(0.0, 0.0));
+        let c = b.add_intersection(vanet_geo::Point::new(100.0, 0.0));
+        let r = b.add_road(a, c, RoadClass::Normal);
+        let net = b.build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            choose_next_road(&net, &RouteConfig::default(), c, r, &mut rng),
+            r
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Vehicle state and movement observations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vanet_geo::{Heading, Point, TurnKind};
+use vanet_roadnet::{IntersectionId, RoadClass, RoadId, RoadNetwork};
+
+/// Identifier of a vehicle. Dense, assigned at spawn time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VehicleId(pub u32);
+
+impl fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The kinematic state of one vehicle.
+///
+/// A vehicle always sits on exactly one road, `offset` meters from the `from`
+/// endpoint toward the other end. This road-locked representation means vehicles can
+/// never leave the road network by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// This vehicle's id.
+    pub id: VehicleId,
+    /// The road currently being driven.
+    pub road: RoadId,
+    /// The endpoint the vehicle entered the road from (drives away from it).
+    pub from: IntersectionId,
+    /// Distance traveled along the road from `from`, in meters.
+    pub offset: f64,
+    /// Current speed in m/s.
+    pub speed: f64,
+    /// Free-flow target speed in m/s (the paper draws 0–60 km/h).
+    pub desired_speed: f64,
+}
+
+impl VehicleState {
+    /// Current position in the plane.
+    pub fn position(&self, net: &RoadNetwork) -> Point {
+        net.segment_from(self.road, self.from).point_at(self.offset)
+    }
+
+    /// Current heading (direction of travel).
+    pub fn heading(&self, net: &RoadNetwork) -> Heading {
+        net.heading_from(self.road, self.from)
+    }
+
+    /// The intersection the vehicle is driving toward.
+    pub fn toward(&self, net: &RoadNetwork) -> IntersectionId {
+        net.other_end(self.road, self.from)
+    }
+
+    /// The class of the road currently being driven.
+    pub fn road_class(&self, net: &RoadNetwork) -> RoadClass {
+        net.road(self.road).class
+    }
+}
+
+/// A turn (or straight crossing) executed at an intersection during one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurnEvent {
+    /// The intersection where the maneuver happened.
+    pub at: IntersectionId,
+    /// Road being left.
+    pub from_road: RoadId,
+    /// Road being entered.
+    pub to_road: RoadId,
+    /// Geometric classification of the maneuver.
+    pub kind: TurnKind,
+    /// Class of the road being left.
+    pub from_class: RoadClass,
+    /// Class of the road being entered.
+    pub onto_class: RoadClass,
+}
+
+/// One vehicle's movement during one mobility tick — everything a location-service
+/// protocol needs to apply its update rules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoveSample {
+    /// The vehicle.
+    pub id: VehicleId,
+    /// Position before the tick.
+    pub old_pos: Point,
+    /// Position after the tick.
+    pub new_pos: Point,
+    /// Road occupied after the tick.
+    pub road: RoadId,
+    /// Orientation endpoint after the tick.
+    pub from: IntersectionId,
+    /// Class of `road`.
+    pub road_class: RoadClass,
+    /// Heading after the tick.
+    pub heading: Heading,
+    /// Speed over the tick in m/s.
+    pub speed: f64,
+    /// The intersection maneuver executed this tick, if any.
+    pub turn: Option<TurnEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_geo::Cardinal;
+    use vanet_roadnet::{generate_grid, GridMapSpec};
+
+    #[test]
+    fn position_and_heading_follow_orientation() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        // Road 0 runs east from node 0 at the SW corner.
+        let v = VehicleState {
+            id: VehicleId(0),
+            road: RoadId(0),
+            from: IntersectionId(0),
+            offset: 50.0,
+            speed: 10.0,
+            desired_speed: 15.0,
+        };
+        assert_eq!(v.position(&net), Point::new(50.0, 0.0));
+        assert_eq!(v.heading(&net).to_cardinal(), Cardinal::East);
+        assert_eq!(v.toward(&net), IntersectionId(1));
+
+        // Same road driven the other way.
+        let w = VehicleState {
+            from: IntersectionId(1),
+            ..v
+        };
+        assert_eq!(w.position(&net), Point::new(75.0, 0.0));
+        assert_eq!(w.heading(&net).to_cardinal(), Cardinal::West);
+        assert_eq!(w.toward(&net), IntersectionId(0));
+    }
+
+    #[test]
+    fn road_class_passthrough() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        let v = VehicleState {
+            id: VehicleId(1),
+            road: RoadId(0),
+            from: IntersectionId(0),
+            offset: 0.0,
+            speed: 0.0,
+            desired_speed: 10.0,
+        };
+        assert_eq!(v.road_class(&net), net.road(RoadId(0)).class);
+    }
+}

@@ -1,0 +1,223 @@
+//! Transmission accounting.
+//!
+//! Every figure in the paper's evaluation is a packet count or a latency, so the
+//! network layer counts *transmissions* (each radio send, each wired link traversal)
+//! per packet class. Protocols tag each send with the class it belongs to; the
+//! harness reads the counters out at the end of a run.
+
+use serde::{Deserialize, Serialize};
+use vanet_des::{Counter, SimDuration};
+
+/// Semantic class of a packet, for overhead accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// A vehicle-originated location update (Fig 3.2 counts these originations).
+    Update,
+    /// Table collection/aggregation traffic between hierarchy levels.
+    Collection,
+    /// Query traffic: requests, notifications, and ACKs (Fig 3.3 counts these).
+    Query,
+    /// Application data carried by GPSR after a successful location discovery —
+    /// the traffic the location service exists to enable.
+    Data,
+}
+
+impl PacketClass {
+    /// All classes, for iteration.
+    pub const ALL: [PacketClass; 4] = [
+        PacketClass::Update,
+        PacketClass::Collection,
+        PacketClass::Query,
+        PacketClass::Data,
+    ];
+}
+
+/// Per-class transmission and drop counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetCounters {
+    /// Radio transmissions per class (every hop, every broadcast, every retry).
+    pub radio_tx: [Counter; 4],
+    /// Wired link traversals per class.
+    pub wired_tx: [Counter; 4],
+    /// Packet originations per class (one per logical send, however many hops).
+    pub originations: [Counter; 4],
+    /// Packets dropped in flight (no route, TTL, persistent loss).
+    pub drops: [Counter; 4],
+    /// Drop breakdown by cause: `[ttl, isolated, no_progress, loss, no_route]`,
+    /// summed over classes.
+    pub drop_kinds: [Counter; 5],
+    /// Cumulative channel airtime per class, in microseconds of serialization
+    /// time (how busy the shared medium is with each traffic class).
+    pub airtime_us: [Counter; 4],
+}
+
+/// Why an in-flight packet died (for the drop breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropKind {
+    /// GPSR hop budget exhausted.
+    Ttl,
+    /// No neighbors at all.
+    Isolated,
+    /// Recovery walk found no usable neighbor.
+    NoProgress,
+    /// Every MAC retry lost.
+    Loss,
+    /// No wired path.
+    NoRoute,
+}
+
+impl NetCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ix(class: PacketClass) -> usize {
+        match class {
+            PacketClass::Update => 0,
+            PacketClass::Collection => 1,
+            PacketClass::Query => 2,
+            PacketClass::Data => 3,
+        }
+    }
+
+    /// Records `n` radio transmissions.
+    pub fn count_radio(&mut self, class: PacketClass, n: u64) {
+        self.radio_tx[Self::ix(class)].add(n);
+    }
+
+    /// Records `n` wired link traversals.
+    pub fn count_wired(&mut self, class: PacketClass, n: u64) {
+        self.wired_tx[Self::ix(class)].add(n);
+    }
+
+    /// Records one logical packet origination.
+    pub fn count_origination(&mut self, class: PacketClass) {
+        self.originations[Self::ix(class)].incr();
+    }
+
+    /// Adds `t` of channel airtime for `class`.
+    pub fn count_airtime(&mut self, class: PacketClass, t: SimDuration) {
+        self.airtime_us[Self::ix(class)].add(t.as_micros());
+    }
+
+    /// Cumulative airtime of a class.
+    pub fn airtime(&self, class: PacketClass) -> SimDuration {
+        SimDuration::from_micros(self.airtime_us[Self::ix(class)].get())
+    }
+
+    /// Records one in-flight drop.
+    pub fn count_drop(&mut self, class: PacketClass) {
+        self.drops[Self::ix(class)].incr();
+    }
+
+    /// Records one in-flight drop with its cause.
+    pub fn count_drop_kind(&mut self, class: PacketClass, kind: DropKind) {
+        self.count_drop(class);
+        let k = match kind {
+            DropKind::Ttl => 0,
+            DropKind::Isolated => 1,
+            DropKind::NoProgress => 2,
+            DropKind::Loss => 3,
+            DropKind::NoRoute => 4,
+        };
+        self.drop_kinds[k].incr();
+    }
+
+    /// The drop breakdown `[ttl, isolated, no_progress, loss, no_route]`.
+    pub fn drop_breakdown(&self) -> [u64; 5] {
+        [
+            self.drop_kinds[0].get(),
+            self.drop_kinds[1].get(),
+            self.drop_kinds[2].get(),
+            self.drop_kinds[3].get(),
+            self.drop_kinds[4].get(),
+        ]
+    }
+
+    /// Radio transmissions of a class.
+    pub fn radio(&self, class: PacketClass) -> u64 {
+        self.radio_tx[Self::ix(class)].get()
+    }
+
+    /// Wired traversals of a class.
+    pub fn wired(&self, class: PacketClass) -> u64 {
+        self.wired_tx[Self::ix(class)].get()
+    }
+
+    /// Originations of a class.
+    pub fn origination_count(&self, class: PacketClass) -> u64 {
+        self.originations[Self::ix(class)].get()
+    }
+
+    /// Drops of a class.
+    pub fn drop_count(&self, class: PacketClass) -> u64 {
+        self.drops[Self::ix(class)].get()
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &NetCounters) {
+        for i in 0..4 {
+            self.radio_tx[i].add(other.radio_tx[i].get());
+            self.wired_tx[i].add(other.wired_tx[i].get());
+            self.originations[i].add(other.originations[i].get());
+            self.drops[i].add(other.drops[i].get());
+            self.airtime_us[i].add(other.airtime_us[i].get());
+        }
+        for i in 0..5 {
+            self.drop_kinds[i].add(other.drop_kinds[i].get());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_class() {
+        let mut c = NetCounters::new();
+        c.count_radio(PacketClass::Update, 3);
+        c.count_radio(PacketClass::Query, 5);
+        c.count_wired(PacketClass::Query, 2);
+        c.count_origination(PacketClass::Update);
+        c.count_drop(PacketClass::Collection);
+        assert_eq!(c.radio(PacketClass::Update), 3);
+        assert_eq!(c.radio(PacketClass::Query), 5);
+        assert_eq!(c.radio(PacketClass::Collection), 0);
+        assert_eq!(c.wired(PacketClass::Query), 2);
+        assert_eq!(c.origination_count(PacketClass::Update), 1);
+        assert_eq!(c.drop_count(PacketClass::Collection), 1);
+    }
+
+    #[test]
+    fn airtime_accumulates_and_merges() {
+        let mut a = NetCounters::new();
+        a.count_airtime(PacketClass::Update, SimDuration::from_micros(100));
+        a.count_airtime(PacketClass::Update, SimDuration::from_micros(50));
+        assert_eq!(
+            a.airtime(PacketClass::Update),
+            SimDuration::from_micros(150)
+        );
+        let mut b = NetCounters::new();
+        b.count_airtime(PacketClass::Update, SimDuration::from_micros(25));
+        a.merge(&b);
+        assert_eq!(
+            a.airtime(PacketClass::Update),
+            SimDuration::from_micros(175)
+        );
+        assert_eq!(a.airtime(PacketClass::Query), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = NetCounters::new();
+        let mut b = NetCounters::new();
+        a.count_radio(PacketClass::Query, 1);
+        b.count_radio(PacketClass::Query, 2);
+        b.count_origination(PacketClass::Query);
+        a.merge(&b);
+        assert_eq!(a.radio(PacketClass::Query), 3);
+        assert_eq!(a.origination_count(PacketClass::Query), 1);
+    }
+}

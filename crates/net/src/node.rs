@@ -1,0 +1,185 @@
+//! Node identity and the position registry.
+//!
+//! Vehicles and RSUs share one dense id space so the radio layer can treat them
+//! uniformly: an RSU is just a node that never moves and additionally hangs off the
+//! wired backbone.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vanet_geo::{Point, SpatialHash};
+use vanet_mobility::VehicleId;
+use vanet_roadnet::RsuId;
+
+/// Unified node identifier (dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A vehicle (mobile).
+    Vehicle(VehicleId),
+    /// A road-side unit (static, wired).
+    Rsu(RsuId),
+}
+
+/// The registry of all nodes: kinds and live positions, with a spatial index for
+/// O(1) amortized "who hears this transmission" queries.
+#[derive(Debug, Clone)]
+pub struct NodeRegistry {
+    kinds: Vec<NodeKind>,
+    index: SpatialHash,
+    /// Reverse maps for protocol convenience.
+    vehicle_nodes: Vec<NodeId>,
+    rsu_nodes: Vec<NodeId>,
+}
+
+impl NodeRegistry {
+    /// Creates a registry whose spatial index uses buckets of `cell_size` meters
+    /// (use the radio range).
+    pub fn new(cell_size: f64) -> Self {
+        NodeRegistry {
+            kinds: Vec::new(),
+            index: SpatialHash::new(cell_size),
+            vehicle_nodes: Vec::new(),
+            rsu_nodes: Vec::new(),
+        }
+    }
+
+    /// Registers a vehicle at `pos`. Vehicles must be added in `VehicleId` order.
+    pub fn add_vehicle(&mut self, v: VehicleId, pos: Point) -> NodeId {
+        assert_eq!(
+            v.0 as usize,
+            self.vehicle_nodes.len(),
+            "vehicles must register in id order"
+        );
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Vehicle(v));
+        self.index.upsert(id.0 as u64, pos);
+        self.vehicle_nodes.push(id);
+        id
+    }
+
+    /// Registers an RSU at `pos`. RSUs must be added in `RsuId` order.
+    pub fn add_rsu(&mut self, r: RsuId, pos: Point) -> NodeId {
+        assert_eq!(
+            r.0 as usize,
+            self.rsu_nodes.len(),
+            "RSUs must register in id order"
+        );
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Rsu(r));
+        self.index.upsert(id.0 as u64, pos);
+        self.rsu_nodes.push(id);
+        id
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0 as usize]
+    }
+
+    /// Current position of a node.
+    pub fn pos(&self, n: NodeId) -> Point {
+        self.index
+            .position(n.0 as u64)
+            .expect("registered node has a position")
+    }
+
+    /// Moves a node (vehicles each mobility tick).
+    pub fn set_pos(&mut self, n: NodeId, pos: Point) {
+        assert!((n.0 as usize) < self.kinds.len(), "unknown node");
+        self.index.upsert(n.0 as u64, pos);
+    }
+
+    /// The node id of a vehicle.
+    pub fn node_of_vehicle(&self, v: VehicleId) -> NodeId {
+        self.vehicle_nodes[v.0 as usize]
+    }
+
+    /// The node id of an RSU.
+    pub fn node_of_rsu(&self, r: RsuId) -> NodeId {
+        self.rsu_nodes[r.0 as usize]
+    }
+
+    /// All vehicle node ids, in `VehicleId` order.
+    pub fn vehicle_nodes(&self) -> &[NodeId] {
+        &self.vehicle_nodes
+    }
+
+    /// All RSU node ids, in `RsuId` order.
+    pub fn rsu_nodes(&self) -> &[NodeId] {
+        &self.rsu_nodes
+    }
+
+    /// Nodes strictly within `radius` of `center`, sorted by id, *excluding* `except`
+    /// if provided.
+    pub fn nodes_within(&self, center: Point, radius: f64, except: Option<NodeId>) -> Vec<NodeId> {
+        self.index
+            .query_radius(center, radius)
+            .into_iter()
+            .map(|raw| NodeId(raw as u32))
+            .filter(|&n| Some(n) != except)
+            .collect()
+    }
+
+    /// The node nearest to `center` (ties by id), with its distance.
+    pub fn nearest(&self, center: Point) -> Option<(NodeId, f64)> {
+        self.index
+            .nearest(center)
+            .map(|(raw, d)| (NodeId(raw as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let mut reg = NodeRegistry::new(500.0);
+        let v0 = reg.add_vehicle(VehicleId(0), Point::new(0.0, 0.0));
+        let v1 = reg.add_vehicle(VehicleId(1), Point::new(100.0, 0.0));
+        let r0 = reg.add_rsu(RsuId(0), Point::new(1000.0, 0.0));
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.kind(v0), NodeKind::Vehicle(VehicleId(0)));
+        assert_eq!(reg.kind(r0), NodeKind::Rsu(RsuId(0)));
+        assert_eq!(reg.node_of_vehicle(VehicleId(1)), v1);
+        assert_eq!(reg.node_of_rsu(RsuId(0)), r0);
+        assert_eq!(reg.nodes_within(Point::ORIGIN, 150.0, None), vec![v0, v1]);
+        assert_eq!(reg.nodes_within(Point::ORIGIN, 150.0, Some(v0)), vec![v1]);
+    }
+
+    #[test]
+    fn positions_update() {
+        let mut reg = NodeRegistry::new(500.0);
+        let v = reg.add_vehicle(VehicleId(0), Point::ORIGIN);
+        reg.set_pos(v, Point::new(400.0, 300.0));
+        assert_eq!(reg.pos(v), Point::new(400.0, 300.0));
+        assert!(reg.nodes_within(Point::ORIGIN, 100.0, None).is_empty());
+        assert_eq!(reg.nearest(Point::new(400.0, 301.0)), Some((v, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "id order")]
+    fn out_of_order_vehicle_rejected() {
+        let mut reg = NodeRegistry::new(500.0);
+        reg.add_vehicle(VehicleId(1), Point::ORIGIN);
+    }
+}

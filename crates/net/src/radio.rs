@@ -1,0 +1,227 @@
+//! The radio model: a unit-disk range with distance-dependent delivery probability,
+//! serialization delay, and the MAC's bit-time backoff slots.
+//!
+//! This replaces ns-2's 802.11 stack. What the paper's metrics actually exercise is
+//! (a) who is reachable in one hop (the 500 m disk), (b) that links near the edge of
+//! range are lossy, and (c) per-packet serialization/contention delays — all of
+//! which this model captures. Per-symbol PHY detail is irrelevant at the packet
+//! counts the evaluation reports.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use vanet_des::SimDuration;
+use vanet_geo::Point;
+
+/// Radio and MAC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Communication range in meters (the paper's 500 m).
+    pub range: f64,
+    /// Link bitrate in bits/s (802.11p base rate: 6 Mb/s).
+    pub bitrate: f64,
+    /// Fraction of the range with perfect delivery (before edge fade begins).
+    pub reliable_fraction: f64,
+    /// Delivery probability at exactly `range` (linear fade from 1.0).
+    pub edge_delivery: f64,
+    /// Per-hop processing + contention latency added to serialization.
+    pub per_hop_overhead: SimDuration,
+    /// Maximum random extra jitter per hop.
+    pub jitter_max: SimDuration,
+    /// Duration of one MAC backoff slot (the paper's "bit times" scaled to a
+    /// realistic contention slot).
+    pub slot: SimDuration,
+    /// Unicast MAC retries after a lost transmission.
+    pub retries: u32,
+    /// Manhattan non-line-of-sight penalty: links whose endpoints share neither a
+    /// street row nor a street column (within [`Self::LOS_MARGIN`]) pass through
+    /// building blocks and have their delivery probability multiplied by this.
+    /// `1.0` disables the model. This is the physical effect HLSRG's road-adapted
+    /// grids are designed around ("boundaries of grids can avoid to cut through
+    /// buildings").
+    pub nlos_penalty: f64,
+    /// CSMA contention: extra per-transmission delay for each neighbor sharing the
+    /// sender's channel (they defer to each other). Zero disables the model.
+    pub contention_per_neighbor: SimDuration,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            range: 500.0,
+            bitrate: 6e6,
+            reliable_fraction: 0.75,
+            edge_delivery: 0.40,
+            per_hop_overhead: SimDuration::from_micros(500),
+            jitter_max: SimDuration::from_millis(2),
+            slot: SimDuration::from_micros(20),
+            retries: 3,
+            nlos_penalty: 1.0,
+            contention_per_neighbor: SimDuration::ZERO,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Two positions are "on the same street" when aligned within this margin
+    /// (meters) on either axis — the line between them runs along a road instead
+    /// of through block interiors.
+    pub const LOS_MARGIN: f64 = 20.0;
+
+    /// Delivery probability over a link of length `d` meters (0 beyond range).
+    pub fn delivery_prob(&self, d: f64) -> f64 {
+        if d >= self.range {
+            return 0.0;
+        }
+        let knee = self.range * self.reliable_fraction;
+        if d <= knee {
+            1.0
+        } else {
+            // Linear fade from 1.0 at the knee to `edge_delivery` at the range edge.
+            let t = (d - knee) / (self.range - knee);
+            1.0 + t * (self.edge_delivery - 1.0)
+        }
+    }
+
+    /// Serialization time of `size` bytes at the configured bitrate.
+    pub fn tx_time(&self, size: usize) -> SimDuration {
+        SimDuration::from_secs_f64(size as f64 * 8.0 / self.bitrate)
+    }
+
+    /// Full per-hop latency for `size` bytes: serialization + overhead + jitter.
+    pub fn hop_delay(&self, size: usize, rng: &mut SmallRng) -> SimDuration {
+        let jitter = SimDuration::from_micros(rng.random_range(0..=self.jitter_max.as_micros()));
+        self.tx_time(size) + self.per_hop_overhead + jitter
+    }
+
+    /// Delivery probability between two positions: distance profile times the
+    /// Manhattan NLOS penalty when the endpoints share no street axis.
+    pub fn delivery_prob_between(&self, a: Point, b: Point) -> f64 {
+        let mut p = self.delivery_prob(a.distance(b));
+        if self.nlos_penalty < 1.0 {
+            let aligned =
+                (a.x - b.x).abs() <= Self::LOS_MARGIN || (a.y - b.y).abs() <= Self::LOS_MARGIN;
+            if !aligned {
+                p *= self.nlos_penalty;
+            }
+        }
+        p
+    }
+
+    /// Draws whether a single transmission over distance `d` is received.
+    pub fn link_succeeds(&self, d: f64, rng: &mut SmallRng) -> bool {
+        let p = self.delivery_prob(d);
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// Draws link success between two positions, including the NLOS model.
+    pub fn link_succeeds_between(&self, a: Point, b: Point, rng: &mut SmallRng) -> bool {
+        let p = self.delivery_prob_between(a, b);
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// Backoff delay of `slots` contention slots.
+    pub fn backoff(&self, slots: u32) -> SimDuration {
+        self.slot * slots as u64
+    }
+
+    /// Channel-access delay for a sender with `neighbors` stations in range.
+    pub fn contention_delay(&self, neighbors: usize) -> SimDuration {
+        self.contention_per_neighbor * neighbors as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delivery_prob_profile() {
+        let r = RadioConfig::default();
+        assert_eq!(r.delivery_prob(0.0), 1.0);
+        assert_eq!(r.delivery_prob(375.0), 1.0); // knee at 0.75 × 500
+        let mid = r.delivery_prob(437.5); // halfway through the fade
+        assert!((mid - 0.7).abs() < 1e-9);
+        assert!((r.delivery_prob(499.999) - 0.4).abs() < 1e-3);
+        assert_eq!(r.delivery_prob(500.0), 0.0);
+        assert_eq!(r.delivery_prob(9999.0), 0.0);
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let r = RadioConfig::default();
+        // 750 bytes at 6 Mb/s = 1 ms.
+        assert_eq!(r.tx_time(750), SimDuration::from_millis(1));
+        assert_eq!(r.tx_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hop_delay_bounded() {
+        let r = RadioConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let d = r.hop_delay(100, &mut rng);
+            assert!(d >= r.tx_time(100) + r.per_hop_overhead);
+            assert!(d <= r.tx_time(100) + r.per_hop_overhead + r.jitter_max);
+        }
+    }
+
+    #[test]
+    fn link_draw_respects_extremes() {
+        let r = RadioConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(r.link_succeeds(10.0, &mut rng));
+            assert!(!r.link_succeeds(600.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn backoff_slots() {
+        let r = RadioConfig::default();
+        assert_eq!(r.backoff(0), SimDuration::ZERO);
+        assert_eq!(r.backoff(15), SimDuration::from_micros(300));
+        assert_eq!(r.backoff(31), SimDuration::from_micros(620));
+    }
+
+    #[test]
+    fn nlos_penalty_applies_off_axis_only() {
+        let r = RadioConfig {
+            nlos_penalty: 0.5,
+            ..Default::default()
+        };
+        let a = Point::new(0.0, 0.0);
+        let on_street = Point::new(300.0, 5.0); // aligned in y within the margin
+        let off_street = Point::new(220.0, 220.0); // diagonal through blocks
+        assert_eq!(r.delivery_prob_between(a, on_street), 1.0);
+        assert_eq!(r.delivery_prob_between(a, off_street), 0.5);
+        // Disabled model leaves both at the distance profile.
+        let open = RadioConfig::default();
+        assert_eq!(open.delivery_prob_between(a, off_street), 1.0);
+    }
+
+    #[test]
+    fn contention_scales_with_density() {
+        let quiet = RadioConfig::default();
+        assert_eq!(quiet.contention_delay(50), SimDuration::ZERO);
+        let busy = RadioConfig {
+            contention_per_neighbor: SimDuration::from_micros(40),
+            ..Default::default()
+        };
+        assert_eq!(busy.contention_delay(0), SimDuration::ZERO);
+        assert_eq!(busy.contention_delay(50), SimDuration::from_micros(2000));
+    }
+
+    #[test]
+    fn edge_fade_monotone() {
+        let r = RadioConfig::default();
+        let mut last = 1.1;
+        for i in 0..=50 {
+            let d = i as f64 * 10.0;
+            let p = r.delivery_prob(d);
+            assert!(p <= last + 1e-12, "non-monotone at {d}");
+            last = p;
+        }
+    }
+}

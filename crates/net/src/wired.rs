@@ -1,0 +1,141 @@
+//! The wired RSU backbone.
+//!
+//! The paper wires every L2 RSU to its L3 RSU and every L3 RSU to its four cardinal
+//! L3 neighbors (Fig 2.3). Wired hops are reliable and fast; a packet between two
+//! RSUs traverses the shortest wired path and is charged a fixed per-link latency.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vanet_des::SimDuration;
+use vanet_roadnet::{Partition, RsuId};
+
+/// The RSU wired topology with shortest-hop routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WiredNetwork {
+    adj: Vec<Vec<RsuId>>,
+    /// Per-link latency.
+    pub link_delay: SimDuration,
+}
+
+impl WiredNetwork {
+    /// A backbone with no RSUs at all (protocols that don't use infrastructure).
+    pub fn empty() -> Self {
+        WiredNetwork {
+            adj: Vec::new(),
+            link_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Builds the backbone from a partition's wired links.
+    pub fn from_partition(p: &Partition, link_delay: SimDuration) -> Self {
+        let n = p.rsus().len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in p.wired_links() {
+            adj[a.0 as usize].push(b);
+            adj[b.0 as usize].push(a);
+        }
+        for v in &mut adj {
+            v.sort_unstable();
+        }
+        WiredNetwork { adj, link_delay }
+    }
+
+    /// Number of RSUs in the backbone.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the backbone has no RSUs.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Direct neighbors of an RSU.
+    pub fn neighbors(&self, r: RsuId) -> &[RsuId] {
+        &self.adj[r.0 as usize]
+    }
+
+    /// Shortest hop count from `a` to `b` over the backbone, or `None` if
+    /// disconnected or either RSU is not on the backbone at all. `Some(0)` when
+    /// `a == b` (and both exist).
+    pub fn hops(&self, a: RsuId, b: RsuId) -> Option<u32> {
+        if (a.0 as usize) >= self.adj.len() || (b.0 as usize) >= self.adj.len() {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![u32::MAX; self.adj.len()];
+        let mut q = VecDeque::new();
+        dist[a.0 as usize] = 0;
+        q.push_back(a);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u.0 as usize] {
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                    if v == b {
+                        return Some(dist[v.0 as usize]);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// End-to-end latency of a wired transfer, or `None` if disconnected.
+    pub fn transfer_delay(&self, a: RsuId, b: RsuId) -> Option<SimDuration> {
+        self.hops(a, b).map(|h| self.link_delay * h as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vanet_roadnet::{generate_grid, GridMapSpec, L2Id, L3Id};
+
+    fn backbone(map_m: f64) -> (Partition, WiredNetwork) {
+        let net = generate_grid(&GridMapSpec::paper(map_m), &mut SmallRng::seed_from_u64(0));
+        let p = Partition::build(&net, 500.0);
+        let w = WiredNetwork::from_partition(&p, SimDuration::from_millis(2));
+        (p, w)
+    }
+
+    #[test]
+    fn star_topology_2km() {
+        let (p, w) = backbone(2000.0);
+        let l3 = p.rsu_of_l3(L3Id(0));
+        for i in 0..4u32 {
+            let l2 = p.rsu_of_l2(L2Id(i));
+            assert_eq!(w.hops(l2, l3), Some(1));
+            assert_eq!(w.transfer_delay(l2, l3), Some(SimDuration::from_millis(2)));
+        }
+        // L2-to-L2 goes through the hub.
+        assert_eq!(w.hops(p.rsu_of_l2(L2Id(0)), p.rsu_of_l2(L2Id(3))), Some(2));
+        assert_eq!(w.hops(l3, l3), Some(0));
+    }
+
+    #[test]
+    fn l3_mesh_4km() {
+        let (p, w) = backbone(4000.0);
+        // 2×2 L3 mesh: diagonal is 2 wired hops.
+        let a = p.rsu_of_l3(L3Id(0));
+        let d = p.rsu_of_l3(L3Id(3));
+        assert_eq!(w.hops(a, d), Some(2));
+        // An L2 in one corner to an L2 in the opposite corner: up + 2 mesh + down.
+        let l2a = p.rsu_of_l2(L2Id(0));
+        let l2d = p.rsu_of_l2(L2Id(15));
+        assert_eq!(w.hops(l2a, l2d), Some(4));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let (_, w) = backbone(4000.0);
+        for i in 0..w.len() as u32 {
+            let ns = w.neighbors(RsuId(i));
+            assert!(ns.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+}

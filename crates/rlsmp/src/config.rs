@@ -1,0 +1,91 @@
+//! RLSMP parameters.
+
+use serde::{Deserialize, Serialize};
+use vanet_des::SimDuration;
+
+/// Tunables of the RLSMP baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlsmpConfig {
+    /// Cell side length in meters (500 m, matching HLSRG's L1 size for a fair
+    /// update-rate comparison).
+    pub cell_size: f64,
+    /// Cells per cluster side (the original protocol's 9).
+    pub cluster_dim: u32,
+    /// Radius around the cell center within which a vehicle acts as the cell
+    /// leader (stores the cell's table).
+    pub leader_radius: f64,
+    /// Cell table entry lifetime.
+    pub cell_ttl: SimDuration,
+    /// LSC (cluster) table entry lifetime.
+    pub lsc_ttl: SimDuration,
+    /// Period of the cell-leader → LSC aggregation push.
+    pub agg_period: SimDuration,
+    /// How long an LSC waits and aggregates before giving up on a local miss and
+    /// spiraling outward (the paper's "specific waiting time").
+    pub query_wait: SimDuration,
+    /// Deadline for a query to count as successful.
+    pub query_deadline: SimDuration,
+    /// Update broadcast size in bytes.
+    pub update_size: usize,
+    /// Fixed part of an aggregation packet.
+    pub table_base: usize,
+    /// Per-entry increment of an aggregation packet.
+    pub table_entry: usize,
+    /// Request packet size.
+    pub request_size: usize,
+    /// Notification packet size.
+    pub notify_size: usize,
+    /// ACK size.
+    pub ack_size: usize,
+    /// One application data packet (post-discovery GPSR traffic).
+    pub data_size: usize,
+    /// Application data packets per successful discovery (0 = off).
+    pub data_packets_per_session: u32,
+}
+
+impl Default for RlsmpConfig {
+    fn default() -> Self {
+        RlsmpConfig {
+            cell_size: 250.0,
+            cluster_dim: 4,
+            leader_radius: 175.0,
+            cell_ttl: SimDuration::from_secs(264),
+            lsc_ttl: SimDuration::from_secs(528),
+            agg_period: SimDuration::from_secs(10),
+            query_wait: SimDuration::from_secs(3),
+            query_deadline: SimDuration::from_secs(30),
+            update_size: 64,
+            table_base: 32,
+            table_entry: 16,
+            request_size: 128,
+            notify_size: 96,
+            ack_size: 32,
+            data_size: 512,
+            data_packets_per_session: 8,
+        }
+    }
+}
+
+impl RlsmpConfig {
+    /// Size of an aggregation packet with `entries` rows.
+    pub fn table_size(&self, entries: usize) -> usize {
+        self.table_base + self.table_entry * entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RlsmpConfig::default();
+        assert_eq!(c.cell_size, 250.0);
+        assert_eq!(c.cluster_dim, 4);
+        assert!(
+            c.leader_radius * 2.0 >= c.cell_size,
+            "leaders must cover the cell"
+        );
+        assert_eq!(c.table_size(4), 32 + 64);
+    }
+}

@@ -1,0 +1,505 @@
+//! Main-artery selection (paper §2.1.1).
+//!
+//! The paper's partition procedure starts from an *unclassified* digital map:
+//!
+//! > "First, examine the whole digital map carefully and select all main
+//! > arteries … Second, we define size of the grids about 500 m × 500 m …
+//! > we have to reject some main artery which had already been selected in step
+//! > one or add other normal roads until size of the grids comply with our
+//! > provision."
+//!
+//! This module implements that procedure as an algorithm instead of an act of
+//! cartographic judgement. Roads are grouped into **corridors** (maximal chains of
+//! near-collinear segments — the candidate "lines" a grid boundary can follow),
+//! each corridor is scored by observed traffic, and a greedy sweep picks the
+//! highest-traffic corridor of each axis subject to the grid-pitch constraint:
+//! chosen corridors must be ≈ `target_pitch` apart, adding lower-traffic corridors
+//! where necessary so no gap exceeds the pitch (the paper's "add other normal
+//! roads"), and rejecting busier ones that would make grids too small (the
+//! paper's "reject some main artery").
+
+use crate::graph::{RoadClass, RoadId, RoadNetwork};
+use serde::{Deserialize, Serialize};
+use vanet_geo::Cardinal;
+
+/// A candidate grid-boundary corridor: all segments lying on one straight
+/// east–west or north–south line across the map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corridor {
+    /// The corridor's axis: `East`/`West` ⇒ a horizontal line (constant y);
+    /// `North`/`South` ⇒ a vertical line (constant x). Stored normalized to
+    /// `East` or `North`.
+    pub axis: Cardinal,
+    /// The line's constant coordinate (y for horizontal, x for vertical), meters.
+    pub coordinate: f64,
+    /// Member segments.
+    pub roads: Vec<RoadId>,
+    /// Total observed traffic over the member segments (any non-negative unit:
+    /// vehicle counts, vehicle-seconds, AADT…).
+    pub traffic: f64,
+    /// Total corridor length, meters.
+    pub length: f64,
+}
+
+impl Corridor {
+    /// Traffic per meter — the density the paper eyeballs from Google Maps.
+    pub fn density(&self) -> f64 {
+        if self.length > 0.0 {
+            self.traffic / self.length
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Parameters of the selection sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArterySelectConfig {
+    /// Desired grid pitch (the paper's ~500 m, equal to the radio range).
+    pub target_pitch: f64,
+    /// How far a segment's line coordinate may drift and still join a corridor
+    /// (accommodates jittered maps).
+    pub coordinate_tolerance: f64,
+    /// Maximum deviation from axis alignment for a segment to join a corridor,
+    /// radians.
+    pub angle_tolerance: f64,
+}
+
+impl Default for ArterySelectConfig {
+    fn default() -> Self {
+        ArterySelectConfig {
+            target_pitch: 500.0,
+            coordinate_tolerance: 30.0,
+            angle_tolerance: 0.2,
+        }
+    }
+}
+
+/// Groups a map's segments into straight corridors.
+///
+/// `traffic[r]` is the observed traffic on road `r` (index = `RoadId`); pass
+/// uniform weights if no measurements exist yet.
+pub fn extract_corridors(
+    net: &RoadNetwork,
+    traffic: &[f64],
+    cfg: &ArterySelectConfig,
+) -> Vec<Corridor> {
+    assert_eq!(
+        traffic.len(),
+        net.road_count(),
+        "one traffic weight per road"
+    );
+    let mut horizontals: Vec<Corridor> = Vec::new();
+    let mut verticals: Vec<Corridor> = Vec::new();
+
+    for road in net.roads() {
+        let seg = net.segment_of(road.id);
+        let Some(heading) = seg.heading() else {
+            continue;
+        };
+        let axis_east = heading
+            .angle_to(Cardinal::East.into())
+            .min(heading.angle_to(Cardinal::West.into()));
+        let axis_north = heading
+            .angle_to(Cardinal::North.into())
+            .min(heading.angle_to(Cardinal::South.into()));
+        let (bucket, coord, axis) = if axis_east <= cfg.angle_tolerance {
+            (&mut horizontals, seg.a.midpoint(seg.b).y, Cardinal::East)
+        } else if axis_north <= cfg.angle_tolerance {
+            (&mut verticals, seg.a.midpoint(seg.b).x, Cardinal::North)
+        } else {
+            continue; // diagonal segment: not a straight grid-boundary candidate
+        };
+        match bucket
+            .iter_mut()
+            .find(|c| (c.coordinate - coord).abs() <= cfg.coordinate_tolerance)
+        {
+            Some(c) => {
+                // Running mean keeps the corridor coordinate centered.
+                let n = c.roads.len() as f64;
+                c.coordinate = (c.coordinate * n + coord) / (n + 1.0);
+                c.roads.push(road.id);
+                c.traffic += traffic[road.id.0 as usize];
+                c.length += road.length;
+            }
+            None => bucket.push(Corridor {
+                axis,
+                coordinate: coord,
+                roads: vec![road.id],
+                traffic: traffic[road.id.0 as usize],
+                length: road.length,
+            }),
+        }
+    }
+    let mut out = horizontals;
+    out.append(&mut verticals);
+    for c in &mut out {
+        c.roads.sort_unstable();
+    }
+    out.sort_by(|a, b| {
+        axis_key(a.axis)
+            .cmp(&axis_key(b.axis))
+            .then_with(|| a.coordinate.total_cmp(&b.coordinate))
+    });
+    out
+}
+
+fn axis_key(c: Cardinal) -> u8 {
+    match c {
+        Cardinal::East | Cardinal::West => 0,
+        Cardinal::North | Cardinal::South => 1,
+    }
+}
+
+/// The paper's selection sweep over one axis: walk the corridors in coordinate
+/// order and keep the busiest corridor per pitch window, then patch any window
+/// that ended up empty with its busiest remaining corridor.
+fn sweep_axis(corridors: &[&Corridor], cfg: &ArterySelectConfig) -> Vec<usize> {
+    if corridors.is_empty() {
+        return Vec::new();
+    }
+    let lo = corridors.first().unwrap().coordinate;
+    let hi = corridors.last().unwrap().coordinate;
+    // Both map borders are always boundaries (the outermost corridors).
+    let mut chosen: Vec<usize> = vec![0, corridors.len() - 1];
+    // Interior: one winner per pitch window (lo+pitch, lo+2·pitch, …).
+    let windows = ((hi - lo) / cfg.target_pitch).round() as usize;
+    for w in 1..windows.max(1) {
+        let center = lo + w as f64 * cfg.target_pitch;
+        let half = cfg.target_pitch / 2.0;
+        let best = corridors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| (c.coordinate - center).abs() < half)
+            .max_by(|a, b| {
+                a.1.density()
+                    .total_cmp(&b.1.density())
+                    // Tie: prefer the corridor nearest the nominal grid line.
+                    .then_with(|| {
+                        (b.1.coordinate - center)
+                            .abs()
+                            .total_cmp(&(a.1.coordinate - center).abs())
+                    })
+            });
+        if let Some((i, _)) = best {
+            chosen.push(i);
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// Result of artery selection.
+#[derive(Debug, Clone)]
+pub struct ArterySelection {
+    /// Roads to classify as arteries.
+    pub artery_roads: Vec<RoadId>,
+    /// The chosen corridors (for inspection/plotting).
+    pub corridors: Vec<Corridor>,
+}
+
+/// Selects main arteries for `net` from observed `traffic`, per the paper's
+/// procedure. Returns the roads to reclassify; apply with [`apply_selection`].
+pub fn select_arteries(
+    net: &RoadNetwork,
+    traffic: &[f64],
+    cfg: &ArterySelectConfig,
+) -> ArterySelection {
+    let corridors = extract_corridors(net, traffic, cfg);
+    let horizontals: Vec<&Corridor> = corridors.iter().filter(|c| axis_key(c.axis) == 0).collect();
+    let verticals: Vec<&Corridor> = corridors.iter().filter(|c| axis_key(c.axis) == 1).collect();
+
+    let mut picked: Vec<Corridor> = Vec::new();
+    for (group, picks) in [
+        (&horizontals, sweep_axis(&horizontals, cfg)),
+        (&verticals, sweep_axis(&verticals, cfg)),
+    ] {
+        for i in picks {
+            picked.push(group[i].clone());
+        }
+    }
+    let mut artery_roads: Vec<RoadId> = picked
+        .iter()
+        .flat_map(|c| c.roads.iter().copied())
+        .collect();
+    artery_roads.sort_unstable();
+    artery_roads.dedup();
+    ArterySelection {
+        artery_roads,
+        corridors: picked,
+    }
+}
+
+/// Structural traffic estimate when no measurements exist: **edge betweenness**
+/// (Brandes' algorithm) — the fraction of all-pairs shortest paths crossing each
+/// road. Central through-routes score high, exactly the roads a traffic engineer
+/// would call arteries, so [`select_arteries`] can run on a bare map.
+pub fn shortest_path_usage(net: &RoadNetwork) -> Vec<f64> {
+    use crate::graph::IntersectionId;
+    let n = net.intersection_count();
+    let mut usage = vec![0.0f64; net.road_count()];
+    for s in 0..n as u32 {
+        let src = IntersectionId(s);
+        let dist = net.dijkstra(src, |r| r.length);
+        // Nodes ordered by distance from the source (finite only).
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&v| dist[v as usize].is_finite())
+            .collect();
+        order.sort_by(|&a, &b| dist[a as usize].total_cmp(&dist[b as usize]));
+        // Shortest-path counts (sigma), accumulated dependencies (delta).
+        let mut sigma = vec![0.0f64; n];
+        sigma[s as usize] = 1.0;
+        for &v in &order {
+            if v == s {
+                continue;
+            }
+            let dv = dist[v as usize];
+            let mut acc = 0.0;
+            for &rid in net.incident_roads(IntersectionId(v)) {
+                let road = net.road(rid);
+                let u = net.other_end(rid, IntersectionId(v));
+                if (dist[u.0 as usize] + road.length - dv).abs() < 1e-6 {
+                    acc += sigma[u.0 as usize];
+                }
+            }
+            sigma[v as usize] = acc;
+        }
+        let mut delta = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            if v == s || sigma[v as usize] == 0.0 {
+                continue;
+            }
+            let dv = dist[v as usize];
+            for &rid in net.incident_roads(IntersectionId(v)) {
+                let road = net.road(rid);
+                let u = net.other_end(rid, IntersectionId(v));
+                if (dist[u.0 as usize] + road.length - dv).abs() < 1e-6 {
+                    let c = sigma[u.0 as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                    usage[rid.0 as usize] += c;
+                    delta[u.0 as usize] += c;
+                }
+            }
+        }
+    }
+    usage
+}
+
+/// Artery selection from map structure alone: [`select_arteries`] over
+/// [`shortest_path_usage`].
+pub fn select_arteries_structural(net: &RoadNetwork, cfg: &ArterySelectConfig) -> ArterySelection {
+    let usage = shortest_path_usage(net);
+    select_arteries(net, &usage, cfg)
+}
+
+/// Rebuilds `net` with the selection applied: chosen roads become
+/// [`RoadClass::Artery`], all others [`RoadClass::Normal`].
+pub fn apply_selection(net: &RoadNetwork, selection: &ArterySelection) -> RoadNetwork {
+    use crate::graph::RoadNetworkBuilder;
+    let mut b = RoadNetworkBuilder::new();
+    for i in net.intersections() {
+        b.add_intersection(i.pos);
+    }
+    for r in net.roads() {
+        let class = if selection.artery_roads.binary_search(&r.id).is_ok() {
+            RoadClass::Artery
+        } else {
+            RoadClass::Normal
+        };
+        b.add_road(r.a, r.b, class);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_grid, GridMapSpec};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Traffic oracle: the generator's own artery classification gets 10× weight,
+    /// mimicking the paper's observed 10:1 density ratio.
+    fn oracle_traffic(net: &RoadNetwork) -> Vec<f64> {
+        net.roads()
+            .iter()
+            .map(|r| match r.class {
+                RoadClass::Artery => 10.0 * r.length,
+                RoadClass::Normal => 1.0 * r.length,
+            })
+            .collect()
+    }
+
+    /// Strips classes so selection starts from an unclassified map.
+    fn unclassified(net: &RoadNetwork) -> RoadNetwork {
+        use crate::graph::RoadNetworkBuilder;
+        let mut b = RoadNetworkBuilder::new();
+        for i in net.intersections() {
+            b.add_intersection(i.pos);
+        }
+        for r in net.roads() {
+            b.add_road(r.a, r.b, RoadClass::Normal);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn corridors_cover_the_lattice() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let traffic = vec![1.0; net.road_count()];
+        let cs = extract_corridors(&net, &traffic, &ArterySelectConfig::default());
+        // 9 horizontal + 9 vertical lines on the 1 km / 125 m lattice.
+        assert_eq!(cs.len(), 18);
+        let segments: usize = cs.iter().map(|c| c.roads.len()).sum();
+        assert_eq!(segments, net.road_count());
+        // Corridors are sorted by axis then coordinate.
+        for pair in cs.windows(2) {
+            assert!(
+                axis_key(pair[0].axis) < axis_key(pair[1].axis)
+                    || pair[0].coordinate <= pair[1].coordinate
+            );
+        }
+    }
+
+    #[test]
+    fn selection_recovers_the_true_arteries() {
+        // Ground truth: the paper map's every-4th-line arteries. Feed the
+        // selection an unclassified copy + the 10:1 traffic, and it must recover
+        // exactly the generator's artery set.
+        let truth = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+        let blank = unclassified(&truth);
+        let traffic = oracle_traffic(&truth);
+        let sel = select_arteries(&blank, &traffic, &ArterySelectConfig::default());
+        let rebuilt = apply_selection(&blank, &sel);
+        for (a, b) in truth.roads().iter().zip(rebuilt.roads()) {
+            assert_eq!(a.class, b.class, "road {} misclassified", a.id);
+        }
+    }
+
+    #[test]
+    fn selection_respects_pitch_with_uniform_traffic() {
+        // With no traffic signal at all, the sweep still produces boundaries
+        // roughly every target_pitch (the "add other normal roads" rule).
+        let net = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+        let blank = unclassified(&net);
+        let traffic = vec![1.0; blank.road_count()];
+        let sel = select_arteries(&blank, &traffic, &ArterySelectConfig::default());
+        let horizontal_coords: Vec<f64> = sel
+            .corridors
+            .iter()
+            .filter(|c| axis_key(c.axis) == 0)
+            .map(|c| c.coordinate)
+            .collect();
+        assert!(horizontal_coords.len() >= 4, "{horizontal_coords:?}");
+        for pair in horizontal_coords.windows(2) {
+            let gap = pair[1] - pair[0];
+            assert!(
+                gap > 250.0 - 1.0 && gap < 750.0 + 1.0,
+                "boundary gap {gap} violates the pitch: {horizontal_coords:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jittered_maps_form_corridors() {
+        let spec = GridMapSpec::jittered(1000.0, 25.0);
+        let net = generate_grid(&spec, &mut SmallRng::seed_from_u64(3));
+        let traffic = oracle_traffic(&net);
+        let cs = extract_corridors(&net, &traffic, &ArterySelectConfig::default());
+        // Jitter within tolerance must not shatter the lines.
+        assert_eq!(cs.len(), 18, "corridor count {}", cs.len());
+        let sel = select_arteries(
+            &unclassified(&net),
+            &traffic,
+            &ArterySelectConfig::default(),
+        );
+        // The artery lines (unjittered by construction) are all recovered.
+        let truth_arteries = net
+            .roads()
+            .iter()
+            .filter(|r| r.class == RoadClass::Artery)
+            .count();
+        assert_eq!(sel.artery_roads.len(), truth_arteries);
+    }
+
+    #[test]
+    fn density_prefers_busy_over_central() {
+        // Two corridors in one window: the busier one wins even if off-center.
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let blank = unclassified(&net);
+        // Boost the y = 375 horizontal line (not the nominal y = 500 one).
+        let mut traffic = vec![1.0; blank.road_count()];
+        for r in blank.roads() {
+            let seg = blank.segment_of(r.id);
+            if seg.a.y == 375.0 && seg.b.y == 375.0 {
+                traffic[r.id.0 as usize] = 100.0;
+            }
+        }
+        let sel = select_arteries(&blank, &traffic, &ArterySelectConfig::default());
+        let coords: Vec<f64> = sel
+            .corridors
+            .iter()
+            .filter(|c| axis_key(c.axis) == 0)
+            .map(|c| c.coordinate)
+            .collect();
+        assert!(
+            coords.contains(&375.0),
+            "busy line not selected: {coords:?}"
+        );
+        assert!(
+            !coords.contains(&500.0),
+            "nominal line selected over busy one: {coords:?}"
+        );
+    }
+
+    #[test]
+    fn shortest_path_usage_peaks_centrally() {
+        let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let usage = shortest_path_usage(&net);
+        // The busiest road must touch the map's central area; a corner road must
+        // carry strictly less.
+        let center = vanet_geo::Point::new(500.0, 500.0);
+        let (max_road, _) = usage
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let seg = net.segment_of(crate::graph::RoadId(max_road as u32));
+        assert!(
+            seg.distance_to(center) < 300.0,
+            "busiest road far from center: {seg:?}"
+        );
+        let corner_road = net.nearest_road(vanet_geo::Point::new(10.0, 10.0)).0;
+        assert!(usage[corner_road.0 as usize] < usage[max_road]);
+    }
+
+    #[test]
+    fn structural_selection_is_pitch_compliant() {
+        let truth = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+        let blank = unclassified(&truth);
+        let sel = select_arteries_structural(&blank, &ArterySelectConfig::default());
+        let rebuilt = apply_selection(&blank, &sel);
+        // The partition over the structural arteries still yields 500 m grids.
+        let p = crate::partition::Partition::build(&rebuilt, 500.0);
+        assert_eq!(p.l1_dims(), (2, 2));
+        // Both borders plus at least one interior corridor per axis.
+        let horizontals = sel
+            .corridors
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.axis,
+                    vanet_geo::Cardinal::East | vanet_geo::Cardinal::West
+                )
+            })
+            .count();
+        assert!(horizontals >= 3, "only {horizontals} horizontal corridors");
+    }
+
+    #[test]
+    #[should_panic(expected = "one traffic weight per road")]
+    fn traffic_length_mismatch_rejected() {
+        let net = generate_grid(&GridMapSpec::paper(500.0), &mut SmallRng::seed_from_u64(0));
+        extract_corridors(&net, &[1.0], &ArterySelectConfig::default());
+    }
+}

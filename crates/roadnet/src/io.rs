@@ -1,0 +1,219 @@
+//! A plain-text digital-map format.
+//!
+//! Real deployments load the "well partitioned digital map … loaded to every GPS"
+//! the paper assumes, rather than generating lattices. The format is line-based
+//! and diff-friendly:
+//!
+//! ```text
+//! # hlsrg-map v1
+//! node 0.0 0.0
+//! node 125.0 0.0
+//! road 0 1 artery
+//! ```
+//!
+//! `node x y` lines declare intersections (ids are their 0-based order);
+//! `road a b class` lines connect them (`class` ∈ {`artery`, `normal`}).
+//! Blank lines and `#` comments are ignored.
+
+use crate::graph::{IntersectionId, RoadClass, RoadNetwork, RoadNetworkBuilder};
+use std::fmt;
+use vanet_geo::Point;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: MapParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapParseErrorKind {
+    /// Line did not start with a known keyword.
+    UnknownDirective(String),
+    /// Wrong number of fields for the directive.
+    FieldCount {
+        /// Fields expected.
+        expected: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// A road referenced a node that does not (yet) exist.
+    UnknownNode(u32),
+    /// A road class other than `artery`/`normal`.
+    BadClass(String),
+    /// The file declared no nodes at all.
+    Empty,
+}
+
+impl fmt::Display for MapParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "map parse error at line {}: ", self.line)?;
+        match &self.kind {
+            MapParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
+            MapParseErrorKind::FieldCount { expected, found } => {
+                write!(f, "expected {expected} fields, found {found}")
+            }
+            MapParseErrorKind::BadNumber(s) => write!(f, "bad number {s:?}"),
+            MapParseErrorKind::UnknownNode(n) => write!(f, "road references unknown node {n}"),
+            MapParseErrorKind::BadClass(s) => write!(f, "bad road class {s:?} (artery|normal)"),
+            MapParseErrorKind::Empty => write!(f, "map has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for MapParseError {}
+
+/// Serializes a network to the text format.
+pub fn to_map_text(net: &RoadNetwork) -> String {
+    let mut out = String::with_capacity(net.intersection_count() * 24 + net.road_count() * 16);
+    out.push_str("# hlsrg-map v1\n");
+    for i in net.intersections() {
+        out.push_str(&format!("node {} {}\n", i.pos.x, i.pos.y));
+    }
+    for r in net.roads() {
+        let class = match r.class {
+            RoadClass::Artery => "artery",
+            RoadClass::Normal => "normal",
+        };
+        out.push_str(&format!("road {} {} {}\n", r.a.0, r.b.0, class));
+    }
+    out
+}
+
+/// Parses the text format into a network.
+pub fn from_map_text(text: &str) -> Result<RoadNetwork, MapParseError> {
+    let mut b = RoadNetworkBuilder::new();
+    let mut nodes = 0u32;
+    for (ix, raw) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |kind| MapParseError {
+            line: line_no,
+            kind,
+        };
+        match fields[0] {
+            "node" => {
+                if fields.len() != 3 {
+                    return Err(err(MapParseErrorKind::FieldCount {
+                        expected: 3,
+                        found: fields.len(),
+                    }));
+                }
+                let x: f64 = fields[1]
+                    .parse()
+                    .map_err(|_| err(MapParseErrorKind::BadNumber(fields[1].into())))?;
+                let y: f64 = fields[2]
+                    .parse()
+                    .map_err(|_| err(MapParseErrorKind::BadNumber(fields[2].into())))?;
+                b.add_intersection(Point::new(x, y));
+                nodes += 1;
+            }
+            "road" => {
+                if fields.len() != 4 {
+                    return Err(err(MapParseErrorKind::FieldCount {
+                        expected: 4,
+                        found: fields.len(),
+                    }));
+                }
+                let a: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| err(MapParseErrorKind::BadNumber(fields[1].into())))?;
+                let bb: u32 = fields[2]
+                    .parse()
+                    .map_err(|_| err(MapParseErrorKind::BadNumber(fields[2].into())))?;
+                if a >= nodes {
+                    return Err(err(MapParseErrorKind::UnknownNode(a)));
+                }
+                if bb >= nodes {
+                    return Err(err(MapParseErrorKind::UnknownNode(bb)));
+                }
+                let class = match fields[3] {
+                    "artery" => RoadClass::Artery,
+                    "normal" => RoadClass::Normal,
+                    other => return Err(err(MapParseErrorKind::BadClass(other.into()))),
+                };
+                b.add_road(IntersectionId(a), IntersectionId(bb), class);
+            }
+            other => return Err(err(MapParseErrorKind::UnknownDirective(other.into()))),
+        }
+    }
+    if nodes == 0 {
+        return Err(MapParseError {
+            line: text.lines().count(),
+            kind: MapParseErrorKind::Empty,
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_grid, GridMapSpec};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = generate_grid(
+            &GridMapSpec::jittered(1000.0, 20.0),
+            &mut SmallRng::seed_from_u64(4),
+        );
+        let text = to_map_text(&net);
+        let back = from_map_text(&text).unwrap();
+        assert_eq!(net.intersection_count(), back.intersection_count());
+        assert_eq!(net.road_count(), back.road_count());
+        for (a, b) in net.intersections().iter().zip(back.intersections()) {
+            assert_eq!(a.pos, b.pos);
+        }
+        for (a, b) in net.roads().iter().zip(back.roads()) {
+            assert_eq!((a.a, a.b, a.class), (b.a, b.b, b.class));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nnode 0 0\n  # indented comment\nnode 100 0\nroad 0 1 artery\n";
+        let net = from_map_text(text).unwrap();
+        assert_eq!(net.intersection_count(), 2);
+        assert_eq!(net.road(crate::graph::RoadId(0)).class, RoadClass::Artery);
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            ("node 0 0\nwibble 1 2\n", 2),
+            ("node 0 0\nnode abc 0\n", 2),
+            ("node 0 0\nnode 1 1\nroad 0 5 artery\n", 3),
+            ("node 0 0\nnode 1 1\nroad 0 1 freeway\n", 3),
+            ("node 0 0\nnode 0 1\nroad 0 1\n", 3),
+        ];
+        for (text, line) in cases {
+            let err = from_map_text(text).unwrap_err();
+            assert_eq!(err.line, *line, "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn empty_map_rejected() {
+        let err = from_map_text("# nothing here\n").unwrap_err();
+        assert_eq!(err.kind, MapParseErrorKind::Empty);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = from_map_text("node 0 0\nroad 0 9 normal\n").unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("line 2"));
+        assert!(s.contains("unknown node 9"));
+    }
+}

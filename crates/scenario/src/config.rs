@@ -1,0 +1,167 @@
+//! Scenario configuration.
+
+use hlsrg::HlsrgConfig;
+use rlsmp::RlsmpConfig;
+use serde::{Deserialize, Serialize};
+use vanet_des::SimDuration;
+use vanet_des::SimTime;
+use vanet_mobility::MobilityConfig;
+use vanet_mobility::VehicleId;
+use vanet_net::RadioConfig;
+use vanet_roadnet::GridMapSpec;
+
+/// Which location service a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The paper's contribution.
+    Hlsrg,
+    /// The RLSMP baseline.
+    Rlsmp,
+}
+
+impl Protocol {
+    /// Both protocols, in comparison order.
+    pub const ALL: [Protocol; 2] = [Protocol::Hlsrg, Protocol::Rlsmp];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Hlsrg => "HLSRG",
+            Protocol::Rlsmp => "RLSMP",
+        }
+    }
+}
+
+/// One simulation run's full parameter set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Map generator parameters (used when `map_text` is `None`).
+    pub map: GridMapSpec,
+    /// A digital map in `vanet_roadnet::io` text format; overrides the generator.
+    pub map_text: Option<String>,
+    /// An ns-2 movement trace (`vanet_mobility::Ns2Trace` text format); when set,
+    /// vehicles replay the trace instead of the native mobility model, and
+    /// `vehicles` is overridden by the trace's fleet size.
+    pub trace_ns2: Option<String>,
+    /// L1 grid size (= communication range in the paper).
+    pub l1_size: f64,
+    /// Fleet size.
+    pub vehicles: usize,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Time before the first query (tables need to fill).
+    pub warmup: SimDuration,
+    /// Fraction of vehicles that launch one query each (paper: 10 %). Ignored when
+    /// `explicit_queries` is set.
+    pub query_fraction: f64,
+    /// An explicit query workload `(time, source, destination)` that overrides the
+    /// random one — for application scenarios like fleet tracking.
+    pub explicit_queries: Option<Vec<(SimTime, VehicleId, VehicleId)>>,
+    /// Master seed; every subsystem derives its own stream from it.
+    pub seed: u64,
+    /// Radio model.
+    pub radio: RadioConfig,
+    /// Mobility model.
+    pub mobility: MobilityConfig,
+    /// HLSRG tunables.
+    pub hlsrg: HlsrgConfig,
+    /// RLSMP tunables.
+    pub rlsmp: RlsmpConfig,
+    /// Whether HLSRG's RSUs get their wired backbone (ablation knob; RSUs still
+    /// exist and have radios when false, but wired transfers fail).
+    pub wired_backbone: bool,
+    /// When set, the run samples protocol diagnostics and cumulative counters at
+    /// this period into [`crate::metrics::RunReport::timeline`].
+    pub timeline_period: Option<SimDuration>,
+}
+
+impl SimConfig {
+    /// The paper's headline scenario: a 2 km × 2 km map (Fig 3.1) with `vehicles`
+    /// vehicles, 300 s of simulated time, and 10 % of vehicles querying.
+    pub fn paper_2km(vehicles: usize, seed: u64) -> Self {
+        SimConfig {
+            map: GridMapSpec::paper(2000.0),
+            map_text: None,
+            trace_ns2: None,
+            l1_size: 500.0,
+            vehicles,
+            duration: SimDuration::from_secs(300),
+            warmup: SimDuration::from_secs(60),
+            query_fraction: 0.10,
+            explicit_queries: None,
+            seed,
+            radio: RadioConfig::default(),
+            mobility: MobilityConfig::default(),
+            hlsrg: HlsrgConfig::default(),
+            rlsmp: RlsmpConfig::default(),
+            wired_backbone: true,
+            timeline_period: None,
+        }
+    }
+
+    /// The Fig 3.2 sweep point: map side `size_m` with the paper's proportional
+    /// vehicle counts (31 / 125 / 500 for 500 / 1000 / 2000 m).
+    pub fn paper_fig3_2(size_m: f64, vehicles: usize, seed: u64) -> Self {
+        SimConfig {
+            map: GridMapSpec::paper(size_m),
+            vehicles,
+            ..Self::paper_2km(vehicles, seed)
+        }
+    }
+
+    /// A small fast scenario for demos, doc examples, and smoke tests.
+    pub fn quick_demo(seed: u64) -> Self {
+        SimConfig {
+            duration: SimDuration::from_secs(90),
+            warmup: SimDuration::from_secs(30),
+            ..Self::paper_fig3_2(1000.0, 80, seed)
+        }
+    }
+
+    /// Sanity-checks the configuration, panicking on nonsense.
+    pub fn validate(&self) {
+        assert!(self.vehicles > 0, "need at least one vehicle");
+        assert!(self.duration > self.warmup, "duration must exceed warmup");
+        assert!(
+            (0.0..=1.0).contains(&self.query_fraction),
+            "query fraction must be a probability"
+        );
+        if let Some(qs) = &self.explicit_queries {
+            for &(_, s, d) in qs {
+                assert!((s.0 as usize) < self.vehicles, "query source out of range");
+                assert!(
+                    (d.0 as usize) < self.vehicles,
+                    "query destination out of range"
+                );
+                assert_ne!(s, d, "self-queries are meaningless");
+            }
+        }
+        assert!(self.l1_size > 0.0, "positive L1 size required");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        SimConfig::paper_2km(500, 0).validate();
+        SimConfig::paper_fig3_2(500.0, 31, 1).validate();
+        SimConfig::quick_demo(2).validate();
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Hlsrg.name(), "HLSRG");
+        assert_eq!(Protocol::Rlsmp.name(), "RLSMP");
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must exceed warmup")]
+    fn inverted_warmup_rejected() {
+        let mut c = SimConfig::paper_2km(10, 0);
+        c.warmup = c.duration + SimDuration::from_secs(1);
+        c.validate();
+    }
+}

@@ -1,0 +1,33 @@
+//! # vanet-scenario — experiment harness and paper-figure generators
+//!
+//! Assembles the whole stack (map → partition → mobility → radio → protocol) into
+//! one deterministic discrete-event run, measures it, replicates it across seeds in
+//! parallel, and regenerates every figure of the paper's evaluation:
+//!
+//! * [`run_simulation`] — one run, one protocol, one [`RunReport`].
+//! * [`replicate()`] / [`replicate_averaged`] — seed fan-out over threads.
+//! * [`figures`] — `fig3_2` … `fig3_5`, the published sweeps.
+//!
+//! ```
+//! use vanet_scenario::{run_simulation, Protocol, SimConfig};
+//!
+//! let cfg = SimConfig::quick_demo(42);
+//! let report = run_simulation(&cfg, Protocol::Hlsrg);
+//! assert!(report.queries_launched > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod metrics;
+pub mod plot;
+pub mod replicate;
+pub mod runner;
+
+pub use config::{Protocol, SimConfig};
+pub use figures::{fig3_2, fig3_3, fig3_345, fig3_4, fig3_5, ComparisonPoint, Figure, FigureScale};
+pub use metrics::{AveragedReport, RunReport, TimelinePoint};
+pub use plot::ascii_chart;
+pub use replicate::{replicate, replicate_averaged};
+pub use runner::run_simulation;

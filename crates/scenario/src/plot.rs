@@ -1,0 +1,147 @@
+//! Terminal charts for the paper figures.
+//!
+//! `cargo run --example paper_figures` shouldn't require a plotting stack to show
+//! the *shape* of a result — who is above whom, where curves cross, how fast they
+//! grow. [`ascii_chart`] renders labeled series on a character grid, and
+//! [`Figure::to_ascii_chart`](crate::figures::Figure::to_ascii_chart) applies it
+//! to a figure's HLSRG/RLSMP series.
+
+/// Renders `series` (name, points) as an ASCII chart of `width` × `height`
+/// characters (plot area, excluding axes). Each series gets its own glyph, in
+/// order: `o`, `x`, `+`, `*`.
+///
+/// # Panics
+///
+/// Panics if the plot area is degenerate or a series is empty.
+pub fn ascii_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "plot area too small");
+    assert!(!series.is_empty() && series.iter().all(|(_, pts)| !pts.is_empty()));
+    const GLYPHS: [char; 4] = ['o', 'x', '+', '*'];
+
+    let all = series.iter().flat_map(|(_, pts)| pts.iter().copied());
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    // Zero-baseline for magnitude metrics; pad degenerate ranges.
+    y_lo = y_lo.min(0.0);
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let col = |x: f64| (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+    let row = |y: f64| {
+        let r = ((y - y_lo) / (y_hi - y_lo)) * (height - 1) as f64;
+        height - 1 - r.round() as usize
+    };
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Connect consecutive points with linear interpolation for a line feel.
+        for pair in pts.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let steps = (col(x1).abs_diff(col(x0))).max(1);
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let (x, y) = (x0 + (x1 - x0) * t, y0 + (y1 - y0) * t);
+                let (c, r) = (col(x), row(y));
+                // Markers win over line dots.
+                if grid[r][c] == ' ' {
+                    grid[r][c] = '.';
+                }
+            }
+        }
+        for &(x, y) in pts {
+            grid[row(y)][col(x)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (ri, line) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{y_hi:>9.1}")
+        } else if ri == height - 1 {
+            format!("{y_lo:>9.1}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10}{:<w$.0}{:>.0}\n",
+        "",
+        x_lo,
+        x_hi,
+        w = width - 4
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>10}{} = {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let s = ascii_chart(
+            &[
+                ("alpha", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]),
+                ("beta", vec![(0.0, 20.0), (1.0, 10.0), (2.0, 0.0)]),
+            ],
+            40,
+            10,
+        );
+        assert!(s.contains('o'));
+        assert!(s.contains('x'));
+        assert!(s.contains("o = alpha"));
+        assert!(s.contains("x = beta"));
+        // Y axis labels show the range.
+        assert!(s.contains("20.0"));
+        assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let s = ascii_chart(&[("up", vec![(0.0, 0.0), (10.0, 100.0)])], 30, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        // The marker in the top line is to the right of the one in the bottom.
+        let top = lines[0].find('o').unwrap();
+        let bottom = lines[7].find('o').unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn flat_series_renders() {
+        let s = ascii_chart(&[("flat", vec![(0.0, 5.0), (1.0, 5.0)])], 20, 5);
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        ascii_chart(&[("x", vec![(0.0, 0.0)])], 2, 2);
+    }
+}

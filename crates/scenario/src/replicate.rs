@@ -1,0 +1,82 @@
+//! Multi-seed replication, fanned out across threads.
+//!
+//! The paper averages Fig 3.5 over 10 simulations; we do the same for every figure.
+//! Runs are embarrassingly parallel (each owns its whole world), so we fan seeds
+//! out over crossbeam scoped threads and fold results back in seed order, keeping
+//! the aggregate deterministic.
+
+use crate::config::{Protocol, SimConfig};
+use crate::metrics::{AveragedReport, RunReport};
+use crate::runner::run_simulation;
+use parking_lot::Mutex;
+
+/// Runs `cfg` under `protocol` for seeds `0..replications`, in parallel, returning
+/// the per-seed reports in seed order.
+pub fn replicate(cfg: &SimConfig, protocol: Protocol, replications: usize) -> Vec<RunReport> {
+    assert!(replications > 0, "need at least one replication");
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; replications]);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = replications.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for chunk_start in (0..replications).step_by(chunk.max(1)) {
+            let results = &results;
+            let cfg = cfg.clone();
+            s.spawn(move |_| {
+                for seed_ix in chunk_start..(chunk_start + chunk).min(replications) {
+                    let mut run_cfg = cfg.clone();
+                    // Each replication gets its own master seed, offset from the
+                    // configured one.
+                    run_cfg.seed = cfg.seed.wrapping_add(seed_ix as u64);
+                    let report = run_simulation(&run_cfg, protocol);
+                    results.lock()[seed_ix] = Some(report);
+                }
+            });
+        }
+    })
+    .expect("replication thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every seed produced a report"))
+        .collect()
+}
+
+/// Replicates and averages in one call.
+pub fn replicate_averaged(
+    cfg: &SimConfig,
+    protocol: Protocol,
+    replications: usize,
+) -> AveragedReport {
+    AveragedReport::from_runs(&replicate(cfg, protocol, replications))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_replication_is_deterministic_and_ordered() {
+        let cfg = SimConfig::quick_demo(100);
+        let runs_a = replicate(&cfg, Protocol::Hlsrg, 3);
+        let runs_b = replicate(&cfg, Protocol::Hlsrg, 3);
+        assert_eq!(runs_a.len(), 3);
+        for (a, b) in runs_a.iter().zip(&runs_b) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.update_packets, b.update_packets);
+            assert_eq!(a.query_radio_tx, b.query_radio_tx);
+        }
+        // Seeds are sequential from the base seed.
+        assert_eq!(runs_a[0].seed, 100);
+        assert_eq!(runs_a[2].seed, 102);
+    }
+
+    #[test]
+    fn averaged_report_covers_all_runs() {
+        let cfg = SimConfig::quick_demo(7);
+        let avg = replicate_averaged(&cfg, Protocol::Rlsmp, 2);
+        assert_eq!(avg.runs, 2);
+        assert!(avg.update_packets > 0.0);
+    }
+}

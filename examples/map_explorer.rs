@@ -1,0 +1,100 @@
+//! Map explorer — renders the road-adapted partition of a paper-style map as
+//! ASCII art and prints the hierarchy inventory (grids, centers, RSUs, wiring).
+//!
+//! ```sh
+//! cargo run --release --example map_explorer            # the 2 km paper map
+//! cargo run --release --example map_explorer -- 4000    # a 4 km map (2×2 L3 mesh)
+//! ```
+
+use hlsrg_suite::geo::Point;
+use hlsrg_suite::roadnet::{generate_grid, GridMapSpec, L1Id, Partition, RoadClass};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let size: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000.0);
+    let spec = GridMapSpec::paper(size);
+    let net = generate_grid(&spec, &mut SmallRng::seed_from_u64(0));
+    let partition = Partition::build(&net, 500.0);
+
+    println!("map {size:.0} m × {size:.0} m");
+    println!("  intersections   {:>6}", net.intersection_count());
+    println!("  road segments   {:>6}", net.road_count());
+    let arteries = net
+        .roads()
+        .iter()
+        .filter(|r| r.class == RoadClass::Artery)
+        .count();
+    println!(
+        "  arteries        {:>6} ({:.0}% of segments)",
+        arteries,
+        100.0 * arteries as f64 / net.road_count() as f64
+    );
+    println!(
+        "  total road      {:>6.1} km",
+        net.total_road_length() / 1000.0
+    );
+    let (nx1, ny1) = partition.l1_dims();
+    let (nx2, ny2) = partition.l2_dims();
+    let (nx3, ny3) = partition.l3_dims();
+    println!(
+        "  L1 grids        {:>6} ({nx1}×{ny1}, 500 m, artery-bounded)",
+        partition.l1_count()
+    );
+    println!(
+        "  L2 grids        {:>6} ({nx2}×{ny2}, RSU at each center)",
+        partition.l2_count()
+    );
+    println!(
+        "  L3 grids        {:>6} ({nx3}×{ny3}, RSU at each center)",
+        partition.l3_count()
+    );
+    println!("  RSUs            {:>6}", partition.rsus().len());
+    println!("  wired links     {:>6}", partition.wired_links().len());
+
+    // ASCII render: one character per 125 m lattice point.
+    // '#': artery intersection, '+': normal intersection,
+    // 'C': L1 grid center, '2'/'3': RSU sites.
+    println!("\nlegend: # artery crossing · + normal road · C L1 center · 2 L2 RSU · 3 L3 RSU\n");
+    let cols = spec.cols();
+    let rows = spec.rows();
+    let cell = spec.spacing;
+    for iy in (0..rows).rev() {
+        let mut line = String::with_capacity(cols * 2);
+        for ix in 0..cols {
+            let p = Point::new(ix as f64 * cell, iy as f64 * cell);
+            let id = net.nearest_intersection(p);
+            let mut ch = if spec.is_artery_line(ix) || spec.is_artery_line(iy) {
+                '#'
+            } else {
+                '+'
+            };
+            for g in 0..partition.l1_count() as u32 {
+                if partition.l1_center(L1Id(g)) == id {
+                    ch = 'C';
+                }
+            }
+            for site in partition.rsus() {
+                if site.pos == p {
+                    ch = match site.level {
+                        hlsrg_suite::roadnet::RsuLevel::L2 => '2',
+                        hlsrg_suite::roadnet::RsuLevel::L3 => '3',
+                    };
+                }
+            }
+            line.push(ch);
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+
+    println!("\nwired backbone:");
+    for &(a, b) in partition.wired_links() {
+        let pa = partition.rsus()[a.0 as usize].pos;
+        let pb = partition.rsus()[b.0 as usize].pos;
+        println!("  {a} {pa} <-> {b} {pb}");
+    }
+}

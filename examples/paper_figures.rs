@@ -1,0 +1,46 @@
+//! Regenerates every figure of the paper's evaluation section and prints the
+//! series plus the headline ratios.
+//!
+//! ```sh
+//! cargo run --release --example paper_figures            # smoke scale, ~10 s
+//! cargo run --release --example paper_figures -- --paper # full published sweep
+//! ```
+
+use hlsrg_suite::scenario::{fig3_2, fig3_345, FigureScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        FigureScale::Paper
+    } else {
+        FigureScale::Smoke
+    };
+    println!("scale: {scale:?}\n");
+
+    let f2 = fig3_2(scale);
+    println!("{f2}");
+    println!("{}", f2.to_ascii_chart());
+    println!(
+        ">>> HLSRG sends {:.0}% fewer location updates than RLSMP (paper: ~50% fewer)\n",
+        100.0 * (1.0 - f2.mean_ratio())
+    );
+
+    let (f3, f4, f5) = fig3_345(scale);
+    println!("{f3}");
+    println!("{}", f3.to_ascii_chart());
+    println!(
+        ">>> HLSRG's query overhead is {:.0}% below RLSMP's (paper: ~15% below)\n",
+        100.0 * (1.0 - f3.mean_ratio())
+    );
+    println!("{f4}");
+    println!("{}", f4.to_ascii_chart());
+    println!(
+        ">>> HLSRG answers {:.2}x as many queries as RLSMP (paper: higher, near 100%)\n",
+        f4.mean_ratio()
+    );
+    println!("{f5}");
+    println!("{}", f5.to_ascii_chart());
+    println!(
+        ">>> HLSRG's mean query latency is {:.2}x RLSMP's (paper: lower)\n",
+        f5.mean_ratio()
+    );
+}

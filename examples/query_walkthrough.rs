@@ -1,0 +1,196 @@
+//! A narrated walkthrough of one HLSRG query, event by event.
+//!
+//! Builds the paper's 2 km map with a handful of hand-placed vehicles, lets the
+//! destination register, then traces a query through the hierarchy: request →
+//! L1 center → (miss) → L2 RSU → back down → location-server election →
+//! directional geo-broadcast → ACK.
+//!
+//! ```sh
+//! cargo run --release --example query_walkthrough
+//! ```
+
+use hlsrg_suite::des::{EventQueue, SimDuration, SimTime};
+use hlsrg_suite::geo::{Cardinal, Point, TurnKind};
+use hlsrg_suite::mobility::{MoveSample, TurnEvent, VehicleId};
+use hlsrg_suite::net::{
+    Effect, LocationService, NetworkCore, NodeRegistry, RadioConfig, Transport, WiredNetwork,
+};
+use hlsrg_suite::protocol::{HlsrgConfig, HlsrgPayload, HlsrgProtocol, HlsrgTimer};
+use hlsrg_suite::roadnet::{
+    generate_grid, GridMapSpec, IntersectionId, Partition, RoadClass, RoadId,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+enum Ev {
+    Deliver(hlsrg_suite::net::NodeId, Transport<HlsrgPayload>),
+    Timer(HlsrgTimer),
+}
+
+fn describe(p: &HlsrgPayload) -> String {
+    match p {
+        HlsrgPayload::Update(u) => format!(
+            "UPDATE from {} at {} ({:?})",
+            u.vehicle, u.pos, u.road_class
+        ),
+        HlsrgPayload::TableHandoff { l1 } => format!("TABLE HANDOFF for {l1}"),
+        HlsrgPayload::TableToL2 { l2, from_l1, rows } => {
+            format!("TABLE {from_l1} → {l2} ({} rows)", rows.len())
+        }
+        HlsrgPayload::TableToL3 { l3, from_l2, rows } => {
+            format!("TABLE {from_l2} → {l3} ({} rows)", rows.len())
+        }
+        HlsrgPayload::Request(r) => {
+            format!("REQUEST {:?} for {} (stage {:?})", r.query, r.dst, r.stage)
+        }
+        HlsrgPayload::Notify(n) => format!("NOTIFY {:?} searching for {}", n.query, n.dst),
+        HlsrgPayload::Ack { query } => format!("ACK {query:?}"),
+        HlsrgPayload::Data { session, seq, .. } => format!("DATA {session:?} #{seq}"),
+    }
+}
+
+fn main() {
+    let net = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+    let partition = Arc::new(Partition::build(&net, 500.0));
+
+    // Cast of characters (2 km paper map: grid 0's center is (250,250), grid 5's
+    // is (750,750); the L2#0 RSU sits at (500,500), the L3 RSU at (1000,1000)).
+    let positions = [
+        ("custodian of grid 0", Point::new(250.0, 250.0)),
+        ("custodian of grid 5", Point::new(750.0, 750.0)),
+        (
+            "Dv — the sought vehicle, eastbound on artery y=500",
+            Point::new(700.0, 500.0),
+        ),
+        (
+            "Sv — the asking vehicle, in grid 0",
+            Point::new(150.0, 250.0),
+        ),
+        ("relay", Point::new(500.0, 400.0)),
+    ];
+    let mut reg = NodeRegistry::new(500.0);
+    for (i, (_, p)) in positions.iter().enumerate() {
+        reg.add_vehicle(VehicleId(i as u32), *p);
+    }
+    for site in partition.rsus() {
+        reg.add_rsu(site.id, site.pos);
+    }
+    println!("cast:");
+    for (i, (who, p)) in positions.iter().enumerate() {
+        println!("  v{i} @ {p} — {who}");
+    }
+    for site in partition.rsus() {
+        println!("  {} @ {} — level {:?} RSU", site.id, site.pos, site.level);
+    }
+
+    let radio = RadioConfig {
+        reliable_fraction: 1.0,
+        edge_delivery: 1.0,
+        ..Default::default()
+    };
+    let wired = WiredNetwork::from_partition(&partition, SimDuration::from_millis(2));
+    let mut core = NetworkCore::new(reg, radio, wired, SmallRng::seed_from_u64(1));
+    let mut proto = HlsrgProtocol::new(
+        &net,
+        Arc::clone(&partition),
+        HlsrgConfig::default(),
+        SmallRng::seed_from_u64(2),
+    );
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let apply = |queue: &mut EventQueue<Ev>, fx: Vec<Effect<HlsrgPayload, HlsrgTimer>>| {
+        for f in fx {
+            match f {
+                Effect::Deliver(e) => queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport)),
+                Effect::Timer { delay, key } => queue.schedule_after(delay, Ev::Timer(key)),
+            }
+        }
+    };
+
+    // Dv registers: it turned onto the artery y=500 heading east.
+    println!("\n--- t=0: Dv turns onto the artery and broadcasts a location update ---");
+    let dv_pos = Point::new(700.0, 500.0);
+    let sample = MoveSample {
+        id: VehicleId(2),
+        old_pos: dv_pos,
+        new_pos: dv_pos,
+        road: RoadId(0),
+        from: IntersectionId(0),
+        road_class: RoadClass::Artery,
+        heading: Cardinal::East.into(),
+        speed: 12.0,
+        turn: Some(TurnEvent {
+            at: IntersectionId(0),
+            from_road: RoadId(1),
+            to_road: RoadId(0),
+            kind: TurnKind::Turn,
+            from_class: RoadClass::Normal,
+            onto_class: RoadClass::Artery,
+        }),
+    };
+    let fx = proto.on_move(&mut core, &[sample], SimTime::ZERO);
+    apply(&mut queue, fx);
+    // Run collection so the hierarchy learns about Dv.
+    let fx = proto.on_start(&mut core);
+    apply(&mut queue, fx);
+
+    // Drain quietly until the tables are primed, then launch the query loudly.
+    let mut launched = false;
+    let mut done = false;
+    while let Some((now, ev)) = queue.pop() {
+        if now > SimTime::from_secs(60) {
+            break;
+        }
+        if !launched && now > SimTime::from_secs(25) {
+            launched = true;
+            println!("\n--- t={now}: Sv launches a query for Dv ---");
+            let fx = proto.launch_query(&mut core, VehicleId(3), VehicleId(2), now);
+            apply(&mut queue, fx);
+        }
+        match ev {
+            Ev::Deliver(to, tr) => {
+                let (arrived, more) = core.handle_deliver(to, tr);
+                for e in more {
+                    queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport));
+                }
+                if let Some((_class, payload)) = arrived {
+                    if launched && !done {
+                        println!("  {now}  {to} receives {}", describe(&payload));
+                        if matches!(payload, HlsrgPayload::Ack { .. }) {
+                            done = true;
+                        }
+                    }
+                    let fx = proto.on_packet(&mut core, to, _class, payload, now);
+                    apply(&mut queue, fx);
+                }
+            }
+            Ev::Timer(key) => {
+                if launched && !done {
+                    match &key {
+                        HlsrgTimer::ServeNotify { server, .. } => {
+                            println!("  {now}  {server} wins the 0–15-slot election → notifies")
+                        }
+                        HlsrgTimer::Escalate { server, request } => println!(
+                            "  {now}  {server} escalation backoff expired → forward (stage {:?})",
+                            request.stage
+                        ),
+                        _ => {}
+                    }
+                }
+                let fx = proto.on_timer(&mut core, key, now);
+                apply(&mut queue, fx);
+            }
+        }
+    }
+
+    let log = proto.query_log();
+    println!(
+        "\nresult: {} query, {} answered",
+        log.launched_count(),
+        log.success_count(SimDuration::from_secs(30))
+    );
+    if let Some(lat) = log.latency_stats(SimDuration::from_secs(30)).mean() {
+        println!("latency: {lat:.4} s");
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run both location services on one scenario and compare them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+
+fn main() {
+    // A 1 km paper-style map, 80 vehicles, 90 s — seconds of wall time.
+    let cfg = SimConfig::quick_demo(42);
+    println!(
+        "map {:.0} m, {} vehicles, {} sim seconds\n",
+        cfg.map.width,
+        cfg.vehicles,
+        cfg.duration.as_secs_f64()
+    );
+
+    for protocol in Protocol::ALL {
+        let r = run_simulation(&cfg, protocol);
+        println!("== {} ==", r.protocol);
+        println!("  update packets        {:>8}", r.update_packets);
+        println!("  collection radio tx   {:>8}", r.collection_radio_tx);
+        println!("  collection wired tx   {:>8}", r.collection_wired_tx);
+        println!("  query radio tx        {:>8}", r.query_radio_tx);
+        println!("  query wired tx        {:>8}", r.query_wired_tx);
+        println!("  queries               {:>8}", r.queries_launched);
+        println!("  success rate          {:>8.2}", r.success_rate);
+        match r.mean_latency() {
+            Some(l) => println!("  mean latency          {:>7.3}s", l),
+            None => println!("  mean latency               n/a"),
+        }
+        println!("  artery share          {:>8.2}", r.artery_share);
+        if let Some(d) = r.data_delivery_ratio() {
+            println!(
+                "  data delivery         {:>8.2} ({} of {} packets)",
+                d, r.data_delivered, r.data_sent
+            );
+        }
+        println!("  drops (upd/coll/qry)  {:?}", r.drops);
+        println!(
+            "  drop causes (ttl/iso/noprog/loss/noroute) {:?}",
+            r.drop_breakdown
+        );
+        for (k, v) in &r.diagnostics {
+            println!("  {k:<21} {v:>8.1}");
+        }
+        println!();
+    }
+}

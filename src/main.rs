@@ -1,0 +1,275 @@
+//! `hlsrg` — command-line front end for the reproduction suite.
+//!
+//! ```text
+//! hlsrg run      [--protocol hlsrg|rlsmp] [--vehicles N] [--map-size M] [--seed S]
+//!                [--duration SECS] [--csv]
+//! hlsrg figures  [--paper] [--csv]
+//! hlsrg compare  [--vehicles N] [--seed S] [--reps R]
+//! hlsrg map      [--size M] [--jitter J] [--seed S] [--out FILE]
+//! ```
+
+use hlsrg_suite::des::{SimDuration, SimTime};
+use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace, TrafficLights};
+use hlsrg_suite::roadnet::{generate_grid, to_map_text, GridMapSpec};
+use hlsrg_suite::scenario::{
+    fig3_2, fig3_345, replicate_averaged, run_simulation, FigureScale, Protocol, RunReport,
+    SimConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "figures" => cmd_figures(&flags),
+        "compare" => cmd_compare(&flags),
+        "map" => cmd_map(&flags),
+        "trace" => cmd_trace(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "hlsrg — HLSRG location-service reproduction (ICPP Workshops 2010)
+
+commands:
+  run      one simulation            --protocol hlsrg|rlsmp  --vehicles N
+                                     --map-size M  --seed S  --duration SECS  --csv
+  figures  regenerate the paper's    --paper (full sweep)  --csv
+           evaluation figures
+  compare  HLSRG vs RLSMP summary    --vehicles N  --seed S  --reps R
+  map      emit a map in text form   --size M  --jitter J  --seed S
+  trace    emit an ns-2 movement     --size M  --vehicles N  --duration SECS
+           trace (VanetMobiSim       --seed S  --out FILE
+           interchange format)
+  help     this message"
+    );
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "csv" | "paper") {
+            flags.insert(name.into(), "true".into());
+            continue;
+        }
+        let Some(v) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        flags.insert(name.into(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn protocol_of(flags: &Flags) -> Protocol {
+    match flags.get("protocol").map(String::as_str) {
+        Some("rlsmp") | Some("RLSMP") => Protocol::Rlsmp,
+        _ => Protocol::Hlsrg,
+    }
+}
+
+fn config_of(flags: &Flags) -> SimConfig {
+    let vehicles = get(flags, "vehicles", 500usize);
+    let map_size = get(flags, "map-size", 2000.0f64);
+    let seed = get(flags, "seed", 42u64);
+    let mut cfg = SimConfig::paper_fig3_2(map_size, vehicles, seed);
+    let duration = get(flags, "duration", cfg.duration.as_secs_f64());
+    cfg.duration = SimDuration::from_secs_f64(duration);
+    if cfg.warmup + SimDuration::from_secs(10) > cfg.duration {
+        cfg.warmup = cfg.duration.mul_f64(0.3);
+    }
+    cfg
+}
+
+fn print_report(r: &RunReport, csv: bool) {
+    if csv {
+        println!(
+            "protocol,seed,vehicles,map_size,update_packets,query_radio_tx,queries,succeeded,success_rate,mean_latency_s"
+        );
+        println!(
+            "{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            r.protocol,
+            r.seed,
+            r.vehicles,
+            r.map_size,
+            r.update_packets,
+            r.query_radio_tx,
+            r.queries_launched,
+            r.queries_succeeded,
+            r.success_rate,
+            r.mean_latency().unwrap_or(f64::NAN)
+        );
+        return;
+    }
+    println!(
+        "== {} (seed {}, {} vehicles, {:.0} m map) ==",
+        r.protocol, r.seed, r.vehicles, r.map_size
+    );
+    println!("  update packets        {:>8}", r.update_packets);
+    println!("  collection radio tx   {:>8}", r.collection_radio_tx);
+    println!("  collection wired tx   {:>8}", r.collection_wired_tx);
+    println!("  query radio tx        {:>8}", r.query_radio_tx);
+    println!("  query wired tx        {:>8}", r.query_wired_tx);
+    println!("  queries               {:>8}", r.queries_launched);
+    println!("  success rate          {:>8.2}", r.success_rate);
+    match r.mean_latency() {
+        Some(l) => println!("  mean latency          {:>7.3}s", l),
+        None => println!("  mean latency               n/a"),
+    }
+    println!(
+        "  airtime (upd/coll/qry){:>5.1}/{:.1}/{:.1} ms",
+        r.airtime_us[0] as f64 / 1000.0,
+        r.airtime_us[1] as f64 / 1000.0,
+        r.airtime_us[2] as f64 / 1000.0
+    );
+}
+
+fn cmd_run(flags: &Flags) -> ExitCode {
+    let cfg = config_of(flags);
+    let r = run_simulation(&cfg, protocol_of(flags));
+    print_report(&r, flags.contains_key("csv"));
+    ExitCode::SUCCESS
+}
+
+fn cmd_figures(flags: &Flags) -> ExitCode {
+    let scale = if flags.contains_key("paper") {
+        FigureScale::Paper
+    } else {
+        FigureScale::Smoke
+    };
+    let csv = flags.contains_key("csv");
+    let f2 = fig3_2(scale);
+    let (f3, f4, f5) = fig3_345(scale);
+    for fig in [&f2, &f3, &f4, &f5] {
+        if csv {
+            println!("# Figure {}", fig.id);
+            print!("{}", fig.to_csv());
+        } else {
+            println!("{fig}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(flags: &Flags) -> ExitCode {
+    let cfg = config_of(flags);
+    let reps = get(flags, "reps", 5usize);
+    println!(
+        "{} vehicles, {:.0} m map, {} seeds\n",
+        cfg.vehicles, cfg.map.width, reps
+    );
+    println!(
+        "{:>9} {:>14} {:>14} {:>12} {:>12}",
+        "protocol", "updates", "query tx", "success", "latency(s)"
+    );
+    for protocol in Protocol::ALL {
+        let a = replicate_averaged(&cfg, protocol, reps);
+        println!(
+            "{:>9} {:>14.0} {:>14.0} {:>12.2} {:>12.3}",
+            a.protocol, a.update_packets, a.query_radio_tx, a.success_rate, a.mean_latency
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(flags: &Flags) -> ExitCode {
+    let size = get(flags, "size", 2000.0f64);
+    let vehicles = get(flags, "vehicles", 500usize);
+    let duration = get(flags, "duration", 300.0f64);
+    let seed = get(flags, "seed", 0u64);
+    let net = generate_grid(
+        &GridMapSpec::paper(size),
+        &mut SmallRng::seed_from_u64(seed),
+    );
+    let lights = TrafficLights::new(&net, LightConfig::default());
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(1));
+    let mut model = MobilityModel::new(&net, MobilityConfig::default(), vehicles, &mut rng);
+    let ticks =
+        (SimTime::from_secs_f64(duration).as_micros() / model.config().tick.as_micros()) as usize;
+    let trace = Ns2Trace::record(&net, &lights, &mut model, ticks, &mut rng);
+    let text = trace.to_ns2_text();
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} vehicles, {} setdest commands, horizon {})",
+                path,
+                trace.initial.len(),
+                trace.commands.len(),
+                trace.horizon()
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_map(flags: &Flags) -> ExitCode {
+    let size = get(flags, "size", 2000.0f64);
+    let jitter = get(flags, "jitter", 0.0f64);
+    let seed = get(flags, "seed", 0u64);
+    let spec = if jitter > 0.0 {
+        GridMapSpec::jittered(size, jitter)
+    } else {
+        GridMapSpec::paper(size)
+    };
+    let net = generate_grid(&spec, &mut SmallRng::seed_from_u64(seed));
+    let text = to_map_text(&net);
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} intersections, {} roads)",
+                path,
+                net.intersection_count(),
+                net.road_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}

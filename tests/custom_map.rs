@@ -1,0 +1,78 @@
+//! End-to-end runs on a user-supplied digital map (the text format of
+//! `vanet_roadnet::io`), plus the timeline instrumentation.
+
+use hlsrg_suite::des::SimDuration;
+use hlsrg_suite::roadnet::{from_map_text, generate_grid, to_map_text, GridMapSpec};
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn simulation_runs_on_a_text_map() {
+    // Serialize a 1 km paper map and feed the *text* to the runner.
+    let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+    let text = to_map_text(&net);
+
+    let mut cfg = SimConfig::quick_demo(5);
+    cfg.map_text = Some(text);
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert_eq!(r.map_size, 1000.0);
+    assert!(r.update_packets > 0);
+    assert!(r.queries_launched > 0);
+}
+
+#[test]
+fn text_map_matches_generated_map_exactly() {
+    // The same map via generator or text must give bit-identical runs.
+    let cfg_gen = SimConfig::quick_demo(6);
+    let net = generate_grid(&cfg_gen.map, &mut SmallRng::seed_from_u64(0)); // jitter=0: rng unused
+    let mut cfg_text = cfg_gen.clone();
+    cfg_text.map_text = Some(to_map_text(&net));
+
+    let a = run_simulation(&cfg_gen, Protocol::Hlsrg);
+    let b = run_simulation(&cfg_text, Protocol::Hlsrg);
+    assert_eq!(a.update_packets, b.update_packets);
+    assert_eq!(a.query_radio_tx, b.query_radio_tx);
+    assert_eq!(a.queries_succeeded, b.queries_succeeded);
+}
+
+#[test]
+fn roundtrip_through_text_preserves_partition_semantics() {
+    let net = generate_grid(
+        &GridMapSpec::jittered(2000.0, 25.0),
+        &mut SmallRng::seed_from_u64(3),
+    );
+    let back = from_map_text(&to_map_text(&net)).unwrap();
+    let pa = hlsrg_suite::roadnet::Partition::build(&net, 500.0);
+    let pb = hlsrg_suite::roadnet::Partition::build(&back, 500.0);
+    assert_eq!(pa.l1_dims(), pb.l1_dims());
+    for i in 0..pa.l1_count() as u32 {
+        let id = hlsrg_suite::roadnet::L1Id(i);
+        assert_eq!(pa.l1_center(id), pb.l1_center(id));
+    }
+}
+
+#[test]
+fn timeline_sampling_is_monotone() {
+    let mut cfg = SimConfig::quick_demo(7);
+    cfg.timeline_period = Some(SimDuration::from_secs(10));
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert!(!r.timeline.is_empty());
+    for w in r.timeline.windows(2) {
+        assert!(w[1].t > w[0].t);
+        assert!(
+            w[1].update_packets >= w[0].update_packets,
+            "counters are cumulative"
+        );
+        assert!(w[1].queries_completed >= w[0].queries_completed);
+    }
+    // The last sample's counters are bounded by the final report.
+    let last = r.timeline.last().unwrap();
+    assert!(last.update_packets <= r.update_packets);
+}
+
+#[test]
+fn no_timeline_by_default() {
+    let r = run_simulation(&SimConfig::quick_demo(8), Protocol::Hlsrg);
+    assert!(r.timeline.is_empty());
+}

@@ -1,0 +1,50 @@
+//! The payoff test: after the location service answers, application data must
+//! actually flow over GPSR — the purpose the paper builds the whole system for.
+
+use hlsrg_suite::des::SimDuration;
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+
+fn cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_2km(400, seed);
+    cfg.duration = SimDuration::from_secs(180);
+    cfg.warmup = SimDuration::from_secs(60);
+    cfg
+}
+
+#[test]
+fn data_flows_after_discovery() {
+    let r = run_simulation(&cfg(1), Protocol::Hlsrg);
+    // 8 packets per successful session.
+    assert_eq!(r.data_sent, 8 * r.queries_succeeded as u64);
+    let ratio = r.data_delivery_ratio().expect("sessions ran");
+    assert!(ratio > 0.85, "data delivery ratio only {ratio:.2}");
+}
+
+#[test]
+fn data_sessions_can_be_disabled() {
+    let mut c = cfg(2);
+    c.hlsrg.data_packets_per_session = 0;
+    c.rlsmp.data_packets_per_session = 0;
+    for protocol in Protocol::ALL {
+        let r = run_simulation(&c, protocol);
+        assert_eq!(r.data_sent, 0);
+        assert_eq!(r.data_delivered, 0);
+        assert!(r.data_delivery_ratio().is_none());
+    }
+}
+
+#[test]
+fn both_protocols_enable_comparable_data_delivery_per_session() {
+    // Once a session exists, the data plane is plain GPSR for both protocols —
+    // the *number* of sessions differs (success rates), not per-session quality.
+    let h = run_simulation(&cfg(3), Protocol::Hlsrg);
+    let r = run_simulation(&cfg(3), Protocol::Rlsmp);
+    let hr = h.data_delivery_ratio().unwrap();
+    let rr = r.data_delivery_ratio().unwrap();
+    assert!(
+        (hr - rr).abs() < 0.25,
+        "per-session quality diverged: {hr:.2} vs {rr:.2}"
+    );
+    // But HLSRG enables more total delivered data (more sessions).
+    assert!(h.data_delivered > r.data_delivered);
+}

@@ -1,0 +1,75 @@
+//! Reproducibility: a run is a pure function of (config, seed).
+
+use hlsrg_suite::des::SimDuration;
+use hlsrg_suite::scenario::{replicate, run_simulation, Protocol, SimConfig};
+
+fn quick(seed: u64) -> SimConfig {
+    SimConfig::quick_demo(seed)
+}
+
+#[test]
+fn identical_seed_identical_everything() {
+    for protocol in Protocol::ALL {
+        let a = run_simulation(&quick(9), protocol);
+        let b = run_simulation(&quick(9), protocol);
+        assert_eq!(a.update_packets, b.update_packets);
+        assert_eq!(a.update_radio_tx, b.update_radio_tx);
+        assert_eq!(a.collection_radio_tx, b.collection_radio_tx);
+        assert_eq!(a.collection_wired_tx, b.collection_wired_tx);
+        assert_eq!(a.query_radio_tx, b.query_radio_tx);
+        assert_eq!(a.query_wired_tx, b.query_wired_tx);
+        assert_eq!(a.queries_launched, b.queries_launched);
+        assert_eq!(a.queries_succeeded, b.queries_succeeded);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.latency.count(), b.latency.count());
+        assert_eq!(a.latency.mean(), b.latency.mean());
+    }
+}
+
+#[test]
+fn different_seeds_change_outcomes() {
+    let a = run_simulation(&quick(1), Protocol::Hlsrg);
+    let b = run_simulation(&quick(2), Protocol::Hlsrg);
+    assert_ne!(
+        (a.update_packets, a.query_radio_tx, a.queries_succeeded),
+        (b.update_packets, b.query_radio_tx, b.queries_succeeded)
+    );
+}
+
+#[test]
+fn parallel_replication_matches_serial() {
+    let cfg = quick(50);
+    let parallel = replicate(&cfg, Protocol::Hlsrg, 3);
+    for (i, run) in parallel.iter().enumerate() {
+        let mut serial_cfg = cfg.clone();
+        serial_cfg.seed = cfg.seed + i as u64;
+        let serial = run_simulation(&serial_cfg, Protocol::Hlsrg);
+        assert_eq!(run.update_packets, serial.update_packets, "seed {i}");
+        assert_eq!(run.queries_succeeded, serial.queries_succeeded, "seed {i}");
+    }
+}
+
+#[test]
+fn protocols_share_identical_workloads() {
+    // Same seed ⇒ same map, same fleet, same query schedule for both protocols.
+    let cfg = quick(77);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    assert_eq!(h.queries_launched, r.queries_launched);
+    assert_eq!(h.vehicles, r.vehicles);
+    // Mobility is protocol-independent: same artery share.
+    assert_eq!(h.artery_share, r.artery_share);
+}
+
+#[test]
+fn duration_extension_only_adds_events() {
+    // A longer run must see at least as many updates (monotone accumulation).
+    let mut short = quick(33);
+    short.duration = SimDuration::from_secs(80);
+    short.warmup = SimDuration::from_secs(30);
+    let mut long = short.clone();
+    long.duration = SimDuration::from_secs(120);
+    let a = run_simulation(&short, Protocol::Hlsrg);
+    let b = run_simulation(&long, Protocol::Hlsrg);
+    assert!(b.update_packets >= a.update_packets);
+}

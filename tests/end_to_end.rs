@@ -1,0 +1,112 @@
+//! Full-stack integration tests: the paper's headline claims must hold on real
+//! (moderately sized) simulations spanning every crate.
+
+use hlsrg_suite::des::SimDuration;
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+
+/// A 2 km scenario trimmed for debug-build test time.
+fn test_cfg(vehicles: usize, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_2km(vehicles, seed);
+    cfg.duration = SimDuration::from_secs(180);
+    cfg.warmup = SimDuration::from_secs(60);
+    cfg
+}
+
+#[test]
+fn hlsrg_halves_update_overhead() {
+    // Paper Fig 3.2: "our protocol ... reduces location update packets about 50%".
+    let cfg = test_cfg(300, 1);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    let ratio = h.update_packets as f64 / r.update_packets as f64;
+    assert!(
+        ratio < 0.75,
+        "HLSRG/RLSMP update ratio {ratio:.2} ({} vs {})",
+        h.update_packets,
+        r.update_packets
+    );
+    assert!(
+        ratio > 0.25,
+        "implausibly low ratio {ratio:.2} — check RLSMP triggers"
+    );
+}
+
+#[test]
+fn hlsrg_wins_on_query_overhead() {
+    // Paper Fig 3.3: HLSRG's query overhead is below RLSMP's.
+    let cfg = test_cfg(300, 2);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    assert!(
+        h.query_radio_tx < r.query_radio_tx,
+        "HLSRG {} vs RLSMP {} query radio tx",
+        h.query_radio_tx,
+        r.query_radio_tx
+    );
+}
+
+#[test]
+fn hlsrg_success_rate_is_high_and_above_rlsmp() {
+    // Paper Fig 3.4: HLSRG near 100%, above RLSMP.
+    let cfg = test_cfg(400, 3);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    assert!(
+        h.success_rate >= 0.80,
+        "HLSRG success only {:.2}",
+        h.success_rate
+    );
+    assert!(
+        h.success_rate > r.success_rate,
+        "HLSRG {:.2} vs RLSMP {:.2}",
+        h.success_rate,
+        r.success_rate
+    );
+}
+
+#[test]
+fn hlsrg_answers_faster() {
+    // Paper Fig 3.5: HLSRG's mean query latency is below RLSMP's.
+    let cfg = test_cfg(400, 4);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    let (hl, rl) = (h.mean_latency().unwrap(), r.mean_latency().unwrap());
+    assert!(hl < rl, "HLSRG {hl:.3}s vs RLSMP {rl:.3}s");
+}
+
+#[test]
+fn update_gap_grows_with_map_size() {
+    // Paper Fig 3.2's shape: the absolute update gap widens as the map grows.
+    let mut gaps = Vec::new();
+    for &(size, n) in &[(1000.0, 125usize), (2000.0, 500)] {
+        let mut cfg = SimConfig::paper_fig3_2(size, n, 5);
+        cfg.duration = SimDuration::from_secs(180);
+        cfg.warmup = SimDuration::from_secs(60);
+        let h = run_simulation(&cfg, Protocol::Hlsrg);
+        let r = run_simulation(&cfg, Protocol::Rlsmp);
+        gaps.push(r.update_packets as i64 - h.update_packets as i64);
+    }
+    assert!(gaps[1] > gaps[0], "gap shrank with map size: {gaps:?}");
+}
+
+#[test]
+fn rsus_never_send_location_updates() {
+    // Updates originate from vehicles only; RSU traffic is Collection/Query class.
+    let cfg = test_cfg(200, 6);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    // Every update is a single one-hop broadcast: originations == radio tx.
+    assert_eq!(h.update_packets, h.update_radio_tx);
+}
+
+#[test]
+fn wired_backbone_carries_collection_and_queries() {
+    let cfg = test_cfg(300, 7);
+    let h = run_simulation(&cfg, Protocol::Hlsrg);
+    assert!(
+        h.collection_wired_tx > 0,
+        "L2→L3 pushes never used the backbone"
+    );
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    assert_eq!(r.collection_wired_tx, 0, "RLSMP has no wires to use");
+    assert_eq!(r.query_wired_tx, 0);
+}

@@ -1,0 +1,91 @@
+//! Failure injection: the stack must degrade gracefully — never panic, always
+//! produce a consistent report — under hostile radio conditions and degenerate
+//! configurations.
+
+use hlsrg_suite::des::SimDuration;
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+
+fn short(mut cfg: SimConfig) -> SimConfig {
+    cfg.duration = SimDuration::from_secs(100);
+    cfg.warmup = SimDuration::from_secs(40);
+    cfg
+}
+
+#[test]
+fn survives_a_near_dead_radio() {
+    // 10 % reliable region, 1 % edge delivery: almost every marginal link fails.
+    let mut cfg = short(SimConfig::paper_2km(200, 1));
+    cfg.radio.reliable_fraction = 0.10;
+    cfg.radio.edge_delivery = 0.01;
+    for protocol in Protocol::ALL {
+        let r = run_simulation(&cfg, protocol);
+        assert!(r.success_rate <= 1.0);
+        // Heavy loss must show up as drops or retries, not silence.
+        assert!(
+            r.drops.iter().sum::<u64>() > 0 || r.success_rate > 0.0,
+            "{}: no drops and no successes — lost packets vanished",
+            r.protocol
+        );
+    }
+}
+
+#[test]
+fn survives_a_tiny_radio_range() {
+    // 100 m range on 125 m blocks: the network is mostly disconnected.
+    let mut cfg = short(SimConfig::paper_2km(150, 2));
+    cfg.radio.range = 100.0;
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    // Whatever succeeds, the report stays consistent.
+    assert!(r.queries_succeeded <= r.queries_launched);
+    assert_eq!(r.update_packets, r.update_radio_tx);
+}
+
+#[test]
+fn survives_extreme_shadowing_and_contention() {
+    let mut cfg = short(SimConfig::paper_2km(200, 3));
+    cfg.radio.nlos_penalty = 0.05;
+    cfg.radio.contention_per_neighbor = SimDuration::from_micros(200);
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert!(r.queries_succeeded <= r.queries_launched);
+    // Contention slows answers down but must not corrupt latency accounting.
+    if let Some(l) = r.mean_latency() {
+        assert!((0.0..=30.0).contains(&l));
+    }
+}
+
+#[test]
+fn single_vehicle_world() {
+    // One vehicle, nobody to query: nothing to do, nothing to break.
+    let mut cfg = short(SimConfig::paper_fig3_2(500.0, 1, 4));
+    cfg.query_fraction = 0.0;
+    for protocol in Protocol::ALL {
+        let r = run_simulation(&cfg, protocol);
+        assert_eq!(r.queries_launched, 0);
+        assert!(r.update_packets >= 1); // its own registration
+    }
+}
+
+#[test]
+fn everyone_queries_everyone_at_once() {
+    // 100 % query fraction, all launched within the window: a burst workload.
+    let mut cfg = short(SimConfig::paper_fig3_2(1000.0, 80, 5));
+    cfg.query_fraction = 1.0;
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert_eq!(r.queries_launched, 80);
+    assert!(
+        r.success_rate > 0.3,
+        "burst success only {:.2}",
+        r.success_rate
+    );
+}
+
+#[test]
+fn cut_backbone_under_loss_is_stable() {
+    let mut cfg = short(SimConfig::paper_2km(250, 6));
+    cfg.wired_backbone = false;
+    cfg.radio.edge_delivery = 0.05;
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert_eq!(r.collection_wired_tx, 0);
+    assert_eq!(r.query_wired_tx, 0);
+    assert!(r.queries_succeeded <= r.queries_launched);
+}

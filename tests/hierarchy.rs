@@ -1,0 +1,118 @@
+//! Cross-crate structural invariants: map ↔ partition ↔ wired backbone.
+
+use hlsrg_suite::geo::Point;
+use hlsrg_suite::net::WiredNetwork;
+use hlsrg_suite::roadnet::{generate_grid, GridMapSpec, L1Id, Partition, RsuId, RsuLevel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(size: f64, jitter: f64, seed: u64) -> (GridMapSpec, Partition) {
+    let spec = if jitter > 0.0 {
+        GridMapSpec::jittered(size, jitter)
+    } else {
+        GridMapSpec::paper(size)
+    };
+    let net = generate_grid(&spec, &mut SmallRng::seed_from_u64(seed));
+    let p = Partition::build(&net, 500.0);
+    (spec, p)
+}
+
+#[test]
+fn hierarchy_counts_nest_exactly() {
+    for &size in &[500.0, 1000.0, 2000.0, 4000.0] {
+        let (_, p) = build(size, 0.0, 0);
+        // Each L2 contains at most 4 L1s; each L3 at most 4 L2s — and all of them.
+        let mut l2_children = vec![0u32; p.l2_count()];
+        for i in 0..p.l1_count() as u32 {
+            l2_children[p.l1_to_l2(L1Id(i)).0 as usize] += 1;
+        }
+        assert_eq!(l2_children.iter().sum::<u32>() as usize, p.l1_count());
+        assert!(
+            l2_children.iter().all(|&c| (1..=4).contains(&c)),
+            "{size}: {l2_children:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rsu_reaches_every_rsu_over_wires() {
+    for &size in &[2000.0, 4000.0, 8000.0] {
+        let (_, p) = build(size, 0.0, 0);
+        let w = WiredNetwork::from_partition(&p, hlsrg_suite::des::SimDuration::from_millis(2));
+        let n = p.rsus().len() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                assert!(
+                    w.hops(RsuId(a), RsuId(b)).is_some(),
+                    "{size}: RSU {a} cannot reach {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn l2_rsus_one_wired_hop_from_their_l3() {
+    let (_, p) = build(4000.0, 0.0, 0);
+    let w = WiredNetwork::from_partition(&p, hlsrg_suite::des::SimDuration::from_millis(2));
+    for site in p.rsus() {
+        if site.level == RsuLevel::L2 {
+            let l3_rsu = p.rsu_of_l3(site.l3);
+            assert_eq!(w.hops(site.id, l3_rsu), Some(1));
+        }
+    }
+}
+
+#[test]
+fn grid_centers_are_real_intersections_near_their_cells() {
+    for seed in 0..5 {
+        let spec = GridMapSpec::jittered(2000.0, 35.0);
+        let net = generate_grid(&spec, &mut SmallRng::seed_from_u64(seed));
+        let p = Partition::build(&net, 500.0);
+        for i in 0..p.l1_count() as u32 {
+            let c = net.pos(p.l1_center(L1Id(i)));
+            let bbox = p.l1_bbox(L1Id(i));
+            assert!(
+                bbox.inflate(130.0).contains_closed(c),
+                "seed {seed}: center {c} far from cell {bbox:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rsus_stand_at_level_centers() {
+    let (_, p) = build(2000.0, 0.0, 0);
+    // On the exact paper map the L2 centers are the shared corners of 4 L1 grids.
+    let expected = [
+        Point::new(500.0, 500.0),
+        Point::new(1500.0, 500.0),
+        Point::new(500.0, 1500.0),
+        Point::new(1500.0, 1500.0),
+    ];
+    let l2_positions: Vec<Point> = p
+        .rsus()
+        .iter()
+        .filter(|s| s.level == RsuLevel::L2)
+        .map(|s| s.pos)
+        .collect();
+    assert_eq!(l2_positions, expected);
+    // The single L3 RSU is at the map center.
+    let l3: Vec<Point> = p
+        .rsus()
+        .iter()
+        .filter(|s| s.level == RsuLevel::L3)
+        .map(|s| s.pos)
+        .collect();
+    assert_eq!(l3, vec![Point::new(1000.0, 1000.0)]);
+}
+
+#[test]
+fn partition_covers_every_intersection() {
+    let (_, p) = build(2000.0, 0.0, 0);
+    let net = generate_grid(&GridMapSpec::paper(2000.0), &mut SmallRng::seed_from_u64(0));
+    for node in net.intersections() {
+        let l1 = p.l1_of(node.pos);
+        assert!(p.l1_bbox(l1).contains_closed(node.pos));
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's actual workflow, end to end: mobility produced by one tool, fed
+//! into the network simulation through an ns-2 trace file.
+
+use hlsrg_suite::des::{SimDuration, SimTime};
+use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace, TrafficLights};
+use hlsrg_suite::roadnet::{generate_grid, GridMapSpec};
+use hlsrg_suite::scenario::{run_simulation, Protocol, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Records a trace of the native mobility model over `secs` simulated seconds.
+fn record_trace(size: f64, vehicles: usize, secs: u64, seed: u64) -> String {
+    let net = generate_grid(&GridMapSpec::paper(size), &mut SmallRng::seed_from_u64(0));
+    let lights = TrafficLights::new(&net, LightConfig::default());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut model = MobilityModel::new(&net, MobilityConfig::default(), vehicles, &mut rng);
+    let ticks = (SimTime::from_secs(secs).as_micros() / model.config().tick.as_micros()) as usize;
+    Ns2Trace::record(&net, &lights, &mut model, ticks, &mut rng).to_ns2_text()
+}
+
+#[test]
+fn hlsrg_runs_on_a_replayed_trace() {
+    let trace = record_trace(1000.0, 100, 120, 3);
+    let mut cfg = SimConfig::paper_fig3_2(1000.0, 1, 3); // vehicle count overridden
+    cfg.duration = SimDuration::from_secs(120);
+    cfg.warmup = SimDuration::from_secs(40);
+    cfg.trace_ns2 = Some(trace);
+    let r = run_simulation(&cfg, Protocol::Hlsrg);
+    assert_eq!(r.vehicles, 100, "fleet size must come from the trace");
+    assert!(r.queries_launched == 10, "10% of the trace fleet queries");
+    assert!(r.update_packets >= 100, "at least the registrations");
+    assert!(
+        r.success_rate >= 0.5,
+        "trace-driven success only {:.2}",
+        r.success_rate
+    );
+}
+
+#[test]
+fn trace_and_native_runs_are_macroscopically_similar() {
+    // The same world, once native and once through the trace bottleneck: packet
+    // counts won't be identical (the trace quantizes kinematics into waypoint
+    // commands) but must be the same order of magnitude.
+    let mut native = SimConfig::paper_fig3_2(1000.0, 100, 4);
+    native.duration = SimDuration::from_secs(120);
+    native.warmup = SimDuration::from_secs(40);
+    let a = run_simulation(&native, Protocol::Hlsrg);
+
+    let mut traced = native.clone();
+    traced.trace_ns2 = Some(record_trace(1000.0, 100, 120, 4));
+    let b = run_simulation(&traced, Protocol::Hlsrg);
+
+    let ratio = b.update_packets as f64 / a.update_packets as f64;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "native {} vs traced {} updates",
+        a.update_packets,
+        b.update_packets
+    );
+}
+
+#[test]
+fn rlsmp_also_replays_traces() {
+    let trace = record_trace(1000.0, 80, 100, 5);
+    let mut cfg = SimConfig::paper_fig3_2(1000.0, 1, 5);
+    cfg.duration = SimDuration::from_secs(100);
+    cfg.warmup = SimDuration::from_secs(40);
+    cfg.trace_ns2 = Some(trace);
+    let r = run_simulation(&cfg, Protocol::Rlsmp);
+    assert_eq!(r.vehicles, 80);
+    assert!(r.update_packets >= 80);
+}
