@@ -20,7 +20,7 @@ use vanet_geo::Point;
 use vanet_mobility::{MoveSample, VehicleId};
 use vanet_net::{
     deliveries, Effect, GpsrTarget, LocationService, NetworkCore, NodeId, NodeKind, PacketClass,
-    QueryId, QueryLog,
+    QueryId, QueryLog, TraceEvent,
 };
 use vanet_roadnet::{L1Id, L2Id, L3Id, Partition, RoadNetwork};
 
@@ -447,6 +447,12 @@ impl HlsrgProtocol {
                 match entry {
                     Some(e) => {
                         self.stats.l1_hits += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 1,
+                            hit: true,
+                        });
                         // Election: holders back off 0–15 slots; the winner serves.
                         let delay = self.backoff_delay(core, self.cfg.backoff_found);
                         vec![Effect::Timer {
@@ -467,6 +473,18 @@ impl HlsrgProtocol {
                     }
                     None => {
                         self.stats.l1_misses += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 1,
+                            hit: false,
+                        });
+                        core.trace(|t| TraceEvent::RouteDecision {
+                            t,
+                            query: req.query.0,
+                            from_level: 1,
+                            to_level: if from_l2 { 3 } else { 2 },
+                        });
                         // Nobody here knows: back off 17–31 slots, then escalate
                         // with our table attached. A request already routed down by
                         // L2 goes straight to L3 instead of ping-ponging.
@@ -500,6 +518,18 @@ impl HlsrgProtocol {
                 match self.l2_tables[l2.0 as usize].lookup(req.dst, now) {
                     Some(UpEntry { from: l1, .. }) => {
                         self.stats.l2_hits += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 2,
+                            hit: true,
+                        });
+                        core.trace(|t| TraceEvent::RouteDecision {
+                            t,
+                            query: req.query.0,
+                            from_level: 2,
+                            to_level: 1,
+                        });
                         req.budget -= 1;
                         req.stage = RequestStage::L1 { l1, from_l2: true };
                         self.dispatch_request(core, at, req)
@@ -509,10 +539,28 @@ impl HlsrgProtocol {
                         // forgotten this vehicle. Bouncing back up would just
                         // ping-pong; let the source's timeout recover.
                         self.stats.l2_misses += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 2,
+                            hit: false,
+                        });
                         Vec::new()
                     }
                     None => {
                         self.stats.l2_misses += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 2,
+                            hit: false,
+                        });
+                        core.trace(|t| TraceEvent::RouteDecision {
+                            t,
+                            query: req.query.0,
+                            from_level: 2,
+                            to_level: 3,
+                        });
                         req.budget -= 1;
                         let l3 = self.partition.l2_to_l3(l2);
                         req.stage = RequestStage::L3 { l3, from_l3: false };
@@ -531,6 +579,18 @@ impl HlsrgProtocol {
                         self.stats.l3_hits += 1;
                         req.budget -= 1;
                         let parent = self.partition.l2_to_l3(l2);
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 3,
+                            hit: true,
+                        });
+                        core.trace(|t| TraceEvent::RouteDecision {
+                            t,
+                            query: req.query.0,
+                            from_level: 3,
+                            to_level: if parent == l3 { 2 } else { 3 },
+                        });
                         if parent == l3 {
                             req.stage = RequestStage::L2 { l2, from_l3: true };
                             self.forward_wired(
@@ -554,10 +614,22 @@ impl HlsrgProtocol {
                     }
                     None if from_l3 => {
                         self.stats.l3_misses += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 3,
+                            hit: false,
+                        });
                         Vec::new() // dead end; the source times out
                     }
                     None => {
                         self.stats.l3_misses += 1;
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 3,
+                            hit: false,
+                        });
                         // The backbone gives every L3 RSU visibility into its
                         // peers: forward to the one holding the freshest entry.
                         let best = (0..self.l3_tables.len())
@@ -571,6 +643,12 @@ impl HlsrgProtocol {
                         match best {
                             Some((peer, _)) => {
                                 req.budget -= 1;
+                                core.trace(|t| TraceEvent::RouteDecision {
+                                    t,
+                                    query: req.query.0,
+                                    from_level: 3,
+                                    to_level: 3,
+                                });
                                 req.stage = RequestStage::L3 {
                                     l3: L3Id(peer),
                                     from_l3: true,
@@ -614,6 +692,12 @@ impl HlsrgProtocol {
             vanet_roadnet::RoadClass::Artery => self.stats.notify_directional += 1,
             vanet_roadnet::RoadClass::Normal => self.stats.notify_region += 1,
         }
+        let directional = source.road_class == vanet_roadnet::RoadClass::Artery;
+        core.trace(|t| TraceEvent::NotifyBroadcast {
+            t,
+            query: query.0,
+            directional,
+        });
         let emissions = match source.road_class {
             vanet_roadnet::RoadClass::Artery => core.geo_broadcast_directional(
                 server,
@@ -647,11 +731,18 @@ impl HlsrgProtocol {
             return Vec::new();
         }
         self.log.mark_retried(query);
+        core.trace(|t| TraceEvent::QueryRetried { t, query: query.0 });
         // Paper: after 5 s without an ACK, send the request straight to the nearest
         // L3 RSU, which has the widest view.
         let src_node = core.registry.node_of_vehicle(src);
         let pos = core.registry.pos(src_node);
         let l3 = self.partition.l3_of(pos);
+        core.trace(|t| TraceEvent::RouteDecision {
+            t,
+            query: query.0,
+            from_level: 0,
+            to_level: 3,
+        });
         let request = RequestPacket {
             query,
             src,
@@ -720,6 +811,12 @@ impl LocationService for HlsrgProtocol {
                 continue;
             };
             self.reason_counts[Self::reason_ix(reason)] += 1;
+            core.trace(|t| TraceEvent::UpdateTriggered {
+                t,
+                vehicle: s.id.0,
+                artery: s.road_class == vanet_roadnet::RoadClass::Artery,
+                reason: Self::reason_ix(reason) as u8,
+            });
             fx.extend(self.send_update(core, s, now));
         }
         fx
@@ -779,6 +876,9 @@ impl LocationService for HlsrgProtocol {
                 }
                 let fresh = !self.log.is_complete(query);
                 self.log.complete(query, now);
+                if fresh {
+                    core.trace(|t| TraceEvent::QueryAnswered { t, query: query.0 });
+                }
                 if !fresh || self.cfg.data_packets_per_session == 0 {
                     return Vec::new();
                 }
@@ -867,6 +967,18 @@ impl LocationService for HlsrgProtocol {
         } else {
             RequestStage::L3 { l3, from_l3: false }
         };
+        let level = match stage {
+            RequestStage::L1 { .. } => 1,
+            RequestStage::L2 { .. } => 2,
+            RequestStage::L3 { .. } => 3,
+        };
+        core.trace(|t| TraceEvent::QueryLaunched {
+            t,
+            query: query.0,
+            src: src.0,
+            dst: dst.0,
+            level,
+        });
         let request = RequestPacket {
             query,
             src,

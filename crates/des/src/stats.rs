@@ -182,19 +182,27 @@ impl Histogram {
         self.counts.len()
     }
 
-    /// Approximate quantile `q ∈ [0, 1]` by bucket upper edge (overflow counts as +∞).
+    /// Quantile `q ∈ [0, 1]`, linearly interpolated within the bucket the target
+    /// rank lands in (overflow counts as +∞).
+    ///
+    /// With `k` observations in the target bucket `[lo, lo + w)` and `c` below
+    /// it, the estimate is `lo + (rank − c) / k · w`. When the rank is the
+    /// bucket's last observation this coincides with the bucket upper edge, so
+    /// boundary-aligned quantiles match the historical upper-edge rule; ranks
+    /// inside a bucket no longer all collapse onto its upper edge.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         if self.total == 0 {
             return None;
         }
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0;
+        let mut below = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return Some((i + 1) as f64 * self.bin_width);
+            if c > 0 && below + c >= target {
+                let frac = (target - below) as f64 / c as f64;
+                return Some((i as f64 + frac) * self.bin_width);
             }
+            below += c;
         }
         Some(f64::INFINITY)
     }
@@ -309,6 +317,27 @@ mod tests {
     }
 
     #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // Three observations, all in bucket [0, 1): the historical upper-edge
+        // rule returned 1.0 for every quantile; interpolation spreads the ranks
+        // across the bucket. Pins the interpolated behaviour.
+        let mut h = Histogram::new(1.0, 4);
+        for _ in 0..3 {
+            h.record(0.2);
+        }
+        // q=0.5 → rank 2 of 3 → 2/3 through the bucket.
+        assert!((h.quantile(0.5).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // q→0 clamps to rank 1 → 1/3; q=1.0 is the bucket's last rank → its
+        // upper edge, where interpolation and the old rule agree.
+        assert!((h.quantile(0.0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.quantile(1.0), Some(1.0));
+        // Overflow mass still maps to +∞.
+        let mut o = Histogram::new(1.0, 2);
+        o.record(10.0);
+        assert_eq!(o.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new(2.0, 3);
         let mut b = Histogram::new(2.0, 3);
@@ -326,5 +355,91 @@ mod tests {
     fn histogram_merge_rejects_mismatched() {
         let mut a = Histogram::new(1.0, 3);
         a.merge(&Histogram::new(2.0, 3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Merging two accumulators matches recording the concatenation,
+        /// including when either (or both) sides are empty or single-sample.
+        #[test]
+        fn welford_merge_matches_sequential(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..40),
+            ys in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        ) {
+            let mut whole = Welford::new();
+            for &x in xs.iter().chain(&ys) {
+                whole.record(x);
+            }
+            let (mut a, mut b) = (Welford::new(), Welford::new());
+            for &x in &xs {
+                a.record(x);
+            }
+            for &y in &ys {
+                b.record(y);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            match (a.mean(), whole.mean()) {
+                (None, None) => {}
+                (Some(m), Some(w)) => prop_assert!((m - w).abs() < 1e-6),
+                _ => return Err(TestCaseError::fail("mean presence differs")),
+            }
+            match (a.variance(), whole.variance()) {
+                (None, None) => {}
+                (Some(v), Some(w)) => prop_assert!((v - w).abs() < 1e-5),
+                _ => return Err(TestCaseError::fail("variance presence differs")),
+            }
+            prop_assert_eq!(a.min(), whole.min());
+            prop_assert_eq!(a.max(), whole.max());
+        }
+
+        /// Quantiles are monotone in `q` and stay within the histogram's
+        /// support when nothing overflows.
+        #[test]
+        fn histogram_quantile_monotone_and_bounded(
+            xs in proptest::collection::vec(0.0f64..20.0, 1..60),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut h = Histogram::new(0.5, 40); // covers [0, 20)
+            for &x in &xs {
+                h.record(x);
+            }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = h.quantile(lo).unwrap();
+            let b = h.quantile(hi).unwrap();
+            prop_assert!(a <= b + 1e-12, "quantiles not monotone: {} > {}", a, b);
+            prop_assert!(a > 0.0 && b <= 20.0 + 1e-12);
+        }
+
+        /// With a single observation, every quantile lands at the upper edge of
+        /// that observation's bucket.
+        #[test]
+        fn histogram_single_sample_quantile_in_bucket(
+            x in 0.0f64..20.0,
+            q in 0.0f64..1.0,
+        ) {
+            let mut h = Histogram::new(0.5, 40);
+            h.record(x);
+            let v = h.quantile(q).unwrap();
+            let bucket_lo = (x / 0.5).floor() * 0.5;
+            prop_assert!(v > bucket_lo && v <= bucket_lo + 0.5 + 1e-12);
+        }
+
+        /// Empty histograms have no quantiles, and merging an empty into an
+        /// empty keeps them that way.
+        #[test]
+        fn histogram_empty_edge_cases(q in 0.0f64..1.0) {
+            let mut h = Histogram::new(1.0, 4);
+            h.merge(&Histogram::new(1.0, 4));
+            prop_assert_eq!(h.quantile(q), None);
+        }
     }
 }

@@ -19,9 +19,10 @@ use crate::node::{NodeId, NodeRegistry};
 use crate::radio::RadioConfig;
 use crate::wired::WiredNetwork;
 use rand::rngs::SmallRng;
-use vanet_des::SimDuration;
+use vanet_des::{SimDuration, SimTime};
 use vanet_geo::{BBox, Point, Vec2};
 use vanet_roadnet::RsuId;
+use vanet_trace::{Phase, PhaseTimings, TraceEvent, Tracer};
 
 /// In-flight packet state carried by a scheduled delivery.
 #[derive(Debug, Clone)]
@@ -68,6 +69,12 @@ pub struct NetworkCore {
     pub wired: WiredNetwork,
     /// Transmission accounting.
     pub counters: NetCounters,
+    /// Structured event tracer; `None` (the default) costs one pointer test per
+    /// potential event. Install with [`Self::set_tracer`].
+    pub tracer: Option<Box<Tracer>>,
+    /// Wall-clock accounting of GPSR next-hop selection (no-op unless the
+    /// `trace` cargo feature is on).
+    pub timings: PhaseTimings,
     rng: SmallRng,
 }
 
@@ -87,7 +94,39 @@ impl NetworkCore {
             radio,
             wired,
             counters: NetCounters::new(),
+            tracer: None,
+            timings: PhaseTimings::new(),
             rng,
+        }
+    }
+
+    /// Installs a tracer; every counter bump below then also emits a
+    /// [`TraceEvent`], so trace exports reconcile exactly with the counters.
+    pub fn set_tracer(&mut self, tracer: Box<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the tracer, if one was installed.
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Advances the tracer's clock; the harness calls this as it pops each
+    /// event so emit sites don't need `now` threaded through.
+    #[inline]
+    pub fn set_trace_now(&mut self, now: SimTime) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.set_now(now);
+        }
+    }
+
+    /// Records a trace event built by `f` (called only when tracing is on,
+    /// with the tracer's current clock).
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce(SimTime) -> TraceEvent) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            let t = tr.now();
+            tr.record(f(t));
         }
     }
 
@@ -104,6 +143,17 @@ impl NetworkCore {
         self.counters.count_origination(class);
         self.counters.count_radio(class, 1);
         self.counters.count_airtime(class, self.radio.tx_time(size));
+        self.trace(|t| TraceEvent::Originated {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+        });
+        self.trace(|t| TraceEvent::RadioHop {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+            n: 1,
+        });
         let from_pos = self.registry.pos(from);
         let mut out = Vec::new();
         for n in self
@@ -139,6 +189,11 @@ impl NetworkCore {
         payload: P,
     ) -> Vec<Emission<P>> {
         self.counters.count_origination(class);
+        self.trace(|t| TraceEvent::Originated {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+        });
         let header = GpsrHeader::new(target, dst_pos);
         self.gpsr_process(from, header, class, size, payload)
     }
@@ -162,13 +217,16 @@ impl NetworkCore {
 
         let mut dead_neighbors: Vec<NodeId> = Vec::new();
         loop {
-            match gpsr_step_excluding(
-                &self.registry,
-                self.radio.range,
-                at,
-                header,
-                &dead_neighbors,
-            ) {
+            let step = self.timings.time(Phase::GpsrNextHop, || {
+                gpsr_step_excluding(
+                    &self.registry,
+                    self.radio.range,
+                    at,
+                    header,
+                    &dead_neighbors,
+                )
+            });
+            match step {
                 GpsrStep::Arrived => {
                     // Uniform path: deliver-to-self with zero delay so the harness's
                     // single delivery handler sees every arrival.
@@ -192,10 +250,22 @@ impl NetworkCore {
                     self.counters.count_radio(class, attempts);
                     self.counters
                         .count_airtime(class, self.radio.tx_time(size) * attempts);
+                    self.trace(|t| TraceEvent::RadioHop {
+                        t,
+                        node: at.0,
+                        class: class.index() as u8,
+                        n: attempts,
+                    });
                     if !success {
                         dead_neighbors.push(next);
                         if dead_neighbors.len() > Self::MAX_REROUTES {
                             self.counters.count_drop_kind(class, DropKind::Loss);
+                            self.trace(|t| TraceEvent::Dropped {
+                                t,
+                                node: at.0,
+                                class: class.index() as u8,
+                                cause: DropKind::Loss.index() as u8,
+                            });
                             return Vec::new();
                         }
                         continue; // reroute around the dead link
@@ -222,6 +292,12 @@ impl NetworkCore {
                         GpsrFailure::NoProgress => DropKind::NoProgress,
                     };
                     self.counters.count_drop_kind(class, kind);
+                    self.trace(|t| TraceEvent::Dropped {
+                        t,
+                        node: at.0,
+                        class: class.index() as u8,
+                        cause: kind.index() as u8,
+                    });
                     return Vec::new();
                 }
             }
@@ -239,12 +315,30 @@ impl NetworkCore {
     ) -> Vec<Emission<P>> {
         let _ = size; // wired links are fast enough that size is irrelevant
         self.counters.count_origination(class);
+        let from_node = self.registry.node_of_rsu(from);
+        self.trace(|t| TraceEvent::Originated {
+            t,
+            node: from_node.0,
+            class: class.index() as u8,
+        });
         let Some(hops) = self.wired.hops(from, to) else {
-            self.counters
-                .count_drop_kind(class, crate::counters::DropKind::NoRoute);
+            let kind = crate::counters::DropKind::NoRoute;
+            self.counters.count_drop_kind(class, kind);
+            self.trace(|t| TraceEvent::Dropped {
+                t,
+                node: from_node.0,
+                class: class.index() as u8,
+                cause: kind.index() as u8,
+            });
             return Vec::new();
         };
         self.counters.count_wired(class, hops as u64);
+        self.trace(|t| TraceEvent::WiredHop {
+            t,
+            node: from_node.0,
+            class: class.index() as u8,
+            hops: hops as u64,
+        });
         let delay = self.wired.link_delay * hops as u64;
         let to_node = self.registry.node_of_rsu(to);
         vec![Emission {
@@ -268,6 +362,11 @@ impl NetworkCore {
         payload: P,
     ) -> Vec<Emission<P>> {
         self.counters.count_origination(class);
+        self.trace(|t| TraceEvent::Originated {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+        });
         let res = directional_broadcast(
             &self.registry,
             &self.radio,
@@ -282,6 +381,12 @@ impl NetworkCore {
         self.counters.count_radio(class, res.transmissions);
         self.counters
             .count_airtime(class, self.radio.tx_time(size) * res.transmissions);
+        self.trace(|t| TraceEvent::RadioHop {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+            n: res.transmissions,
+        });
         res.deliveries
             .into_iter()
             .map(|(n, delay)| Emission {
@@ -305,6 +410,11 @@ impl NetworkCore {
         payload: P,
     ) -> Vec<Emission<P>> {
         self.counters.count_origination(class);
+        self.trace(|t| TraceEvent::Originated {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+        });
         let res = region_broadcast(
             &self.registry,
             &self.radio,
@@ -316,6 +426,12 @@ impl NetworkCore {
         self.counters.count_radio(class, res.transmissions);
         self.counters
             .count_airtime(class, self.radio.tx_time(size) * res.transmissions);
+        self.trace(|t| TraceEvent::RadioHop {
+            t,
+            node: from.0,
+            class: class.index() as u8,
+            n: res.transmissions,
+        });
         res.deliveries
             .into_iter()
             .map(|(n, delay)| Emission {
@@ -336,8 +452,29 @@ impl NetworkCore {
         to: NodeId,
         transport: Transport<P>,
     ) -> (Option<(PacketClass, P)>, Vec<Emission<P>>) {
+        let start = PhaseTimings::ENABLED.then(std::time::Instant::now);
+        let r = self.handle_deliver_inner(to, transport);
+        if let Some(s) = start {
+            self.timings
+                .record_duration(Phase::RadioDelivery, s.elapsed());
+        }
+        r
+    }
+
+    fn handle_deliver_inner<P>(
+        &mut self,
+        to: NodeId,
+        transport: Transport<P>,
+    ) -> (Option<(PacketClass, P)>, Vec<Emission<P>>) {
         match transport {
-            Transport::Local { class, payload } => (Some((class, payload)), Vec::new()),
+            Transport::Local { class, payload } => {
+                self.trace(|t| TraceEvent::Delivered {
+                    t,
+                    node: to.0,
+                    class: class.index() as u8,
+                });
+                (Some((class, payload)), Vec::new())
+            }
             Transport::Gpsr {
                 header,
                 class,
@@ -360,6 +497,11 @@ impl NetworkCore {
                         else {
                             unreachable!("pattern matched above")
                         };
+                        self.trace(|t| TraceEvent::Delivered {
+                            t,
+                            node: to.0,
+                            class: class.index() as u8,
+                        });
                         (Some((class, payload)), Vec::new())
                     }
                     _ => (None, emissions),
@@ -574,6 +716,47 @@ mod tests {
             (got.len(), core.counters.radio(PacketClass::Query))
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn trace_events_reconcile_with_counters() {
+        let mut core = line_core(6, 300.0);
+        core.set_tracer(Box::new(Tracer::new(1024)));
+        let e = core.send_gpsr(
+            NodeId(0),
+            GpsrTarget::Node(NodeId(5)),
+            core.registry.pos(NodeId(5)),
+            PacketClass::Query,
+            128,
+            "req",
+        );
+        drain(&mut core, e);
+        let e = core.broadcast_onehop(NodeId(1), PacketClass::Update, 64, "up");
+        drain(&mut core, e);
+
+        let tr = core.take_tracer().expect("tracer installed");
+        assert_eq!(tr.overwritten(), 0);
+        for class in PacketClass::ALL {
+            let code = class.index() as u8;
+            assert_eq!(
+                tr.metrics.radio(code),
+                core.counters.radio(class),
+                "radio mismatch for {class:?}"
+            );
+            assert_eq!(
+                tr.metrics.originated(code),
+                core.counters.origination_count(class),
+                "origination mismatch for {class:?}"
+            );
+            assert_eq!(
+                tr.metrics.drops(code),
+                core.counters.drop_count(class),
+                "drop mismatch for {class:?}"
+            );
+        }
+        // The lossless line delivers the query once and the broadcast twice.
+        assert_eq!(tr.metrics.delivered(PacketClass::Query.index() as u8), 1);
+        assert_eq!(tr.metrics.delivered(PacketClass::Update.index() as u8), 2);
     }
 
     #[test]

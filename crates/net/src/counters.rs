@@ -30,6 +30,16 @@ impl PacketClass {
         PacketClass::Query,
         PacketClass::Data,
     ];
+
+    /// Stable index of the class (also its trace-event code).
+    pub fn index(self) -> usize {
+        match self {
+            PacketClass::Update => 0,
+            PacketClass::Collection => 1,
+            PacketClass::Query => 2,
+            PacketClass::Data => 3,
+        }
+    }
 }
 
 /// Per-class transmission and drop counters.
@@ -43,9 +53,11 @@ pub struct NetCounters {
     pub originations: [Counter; 4],
     /// Packets dropped in flight (no route, TTL, persistent loss).
     pub drops: [Counter; 4],
-    /// Drop breakdown by cause: `[ttl, isolated, no_progress, loss, no_route]`,
-    /// summed over classes.
-    pub drop_kinds: [Counter; 5],
+    /// Drop breakdown per class × cause: `drop_kinds[class][cause]` with classes
+    /// in [`PacketClass::ALL`] order and causes
+    /// `[ttl, isolated, no_progress, loss, no_route]`. The class-summed view is
+    /// [`Self::drop_breakdown`].
+    pub drop_kinds: [[Counter; 5]; 4],
     /// Cumulative channel airtime per class, in microseconds of serialization
     /// time (how busy the shared medium is with each traffic class).
     pub airtime_us: [Counter; 4],
@@ -66,6 +78,28 @@ pub enum DropKind {
     NoRoute,
 }
 
+impl DropKind {
+    /// All causes, in breakdown order.
+    pub const ALL: [DropKind; 5] = [
+        DropKind::Ttl,
+        DropKind::Isolated,
+        DropKind::NoProgress,
+        DropKind::Loss,
+        DropKind::NoRoute,
+    ];
+
+    /// Stable index of the cause (also its trace-event code).
+    pub fn index(self) -> usize {
+        match self {
+            DropKind::Ttl => 0,
+            DropKind::Isolated => 1,
+            DropKind::NoProgress => 2,
+            DropKind::Loss => 3,
+            DropKind::NoRoute => 4,
+        }
+    }
+}
+
 impl NetCounters {
     /// Creates zeroed counters.
     pub fn new() -> Self {
@@ -73,12 +107,7 @@ impl NetCounters {
     }
 
     fn ix(class: PacketClass) -> usize {
-        match class {
-            PacketClass::Update => 0,
-            PacketClass::Collection => 1,
-            PacketClass::Query => 2,
-            PacketClass::Data => 3,
-        }
+        class.index()
     }
 
     /// Records `n` radio transmissions.
@@ -114,25 +143,23 @@ impl NetCounters {
     /// Records one in-flight drop with its cause.
     pub fn count_drop_kind(&mut self, class: PacketClass, kind: DropKind) {
         self.count_drop(class);
-        let k = match kind {
-            DropKind::Ttl => 0,
-            DropKind::Isolated => 1,
-            DropKind::NoProgress => 2,
-            DropKind::Loss => 3,
-            DropKind::NoRoute => 4,
-        };
-        self.drop_kinds[k].incr();
+        self.drop_kinds[Self::ix(class)][kind.index()].incr();
     }
 
-    /// The drop breakdown `[ttl, isolated, no_progress, loss, no_route]`.
+    /// Drops of one class with one cause.
+    pub fn drop_kind_count(&self, class: PacketClass, kind: DropKind) -> u64 {
+        self.drop_kinds[Self::ix(class)][kind.index()].get()
+    }
+
+    /// The full drop matrix: `[class][cause]` counts.
+    pub fn drop_matrix(&self) -> [[u64; 5]; 4] {
+        std::array::from_fn(|c| std::array::from_fn(|k| self.drop_kinds[c][k].get()))
+    }
+
+    /// The class-summed drop breakdown
+    /// `[ttl, isolated, no_progress, loss, no_route]` (derived from the matrix).
     pub fn drop_breakdown(&self) -> [u64; 5] {
-        [
-            self.drop_kinds[0].get(),
-            self.drop_kinds[1].get(),
-            self.drop_kinds[2].get(),
-            self.drop_kinds[3].get(),
-            self.drop_kinds[4].get(),
-        ]
+        std::array::from_fn(|k| self.drop_kinds.iter().map(|row| row[k].get()).sum())
     }
 
     /// Radio transmissions of a class.
@@ -164,8 +191,10 @@ impl NetCounters {
             self.drops[i].add(other.drops[i].get());
             self.airtime_us[i].add(other.airtime_us[i].get());
         }
-        for i in 0..5 {
-            self.drop_kinds[i].add(other.drop_kinds[i].get());
+        for c in 0..4 {
+            for k in 0..5 {
+                self.drop_kinds[c][k].add(other.drop_kinds[c][k].get());
+            }
         }
     }
 }
@@ -207,6 +236,42 @@ mod tests {
             SimDuration::from_micros(175)
         );
         assert_eq!(a.airtime(PacketClass::Query), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drop_matrix_and_summed_breakdown_agree() {
+        let mut c = NetCounters::new();
+        c.count_drop_kind(PacketClass::Query, DropKind::Loss);
+        c.count_drop_kind(PacketClass::Query, DropKind::Loss);
+        c.count_drop_kind(PacketClass::Update, DropKind::Loss);
+        c.count_drop_kind(PacketClass::Data, DropKind::Ttl);
+        c.count_drop_kind(PacketClass::Collection, DropKind::NoRoute);
+        assert_eq!(c.drop_kind_count(PacketClass::Query, DropKind::Loss), 2);
+        assert_eq!(c.drop_kind_count(PacketClass::Update, DropKind::Loss), 1);
+        assert_eq!(c.drop_kind_count(PacketClass::Update, DropKind::Ttl), 0);
+        let m = c.drop_matrix();
+        assert_eq!(m[PacketClass::Query.index()][DropKind::Loss.index()], 2);
+        assert_eq!(m[PacketClass::Data.index()][DropKind::Ttl.index()], 1);
+        // The legacy summed view is the matrix's column sums.
+        assert_eq!(c.drop_breakdown(), [1, 0, 0, 3, 1]);
+        // ... and per-class totals still land in `drops`.
+        assert_eq!(c.drop_count(PacketClass::Query), 2);
+    }
+
+    #[test]
+    fn drop_matrix_merges_per_cell() {
+        let mut a = NetCounters::new();
+        let mut b = NetCounters::new();
+        a.count_drop_kind(PacketClass::Query, DropKind::Ttl);
+        b.count_drop_kind(PacketClass::Query, DropKind::Ttl);
+        b.count_drop_kind(PacketClass::Update, DropKind::Isolated);
+        a.merge(&b);
+        assert_eq!(a.drop_kind_count(PacketClass::Query, DropKind::Ttl), 2);
+        assert_eq!(
+            a.drop_kind_count(PacketClass::Update, DropKind::Isolated),
+            1
+        );
+        assert_eq!(a.drop_breakdown(), [2, 1, 0, 0, 0]);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use gpsr::{gpsr_step, GpsrFailure, GpsrHeader, GpsrMode, GpsrStep, GpsrTarge
 pub use node::{NodeId, NodeKind, NodeRegistry};
 pub use radio::RadioConfig;
 pub use service::{deliveries, Effect, LocationService, QueryId, QueryLog, QueryRecord};
+pub use vanet_trace::{TraceEvent, Tracer};
 pub use wired::WiredNetwork;
 
 #[cfg(test)]

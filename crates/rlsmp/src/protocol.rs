@@ -21,8 +21,12 @@ use vanet_geo::Point;
 use vanet_mobility::{MoveSample, VehicleId};
 use vanet_net::{
     deliveries, Effect, GpsrTarget, LocationService, NetworkCore, NodeId, NodeKind, PacketClass,
-    QueryId, QueryLog,
+    QueryId, QueryLog, TraceEvent,
 };
+
+/// Trace-event code for RLSMP's only update trigger (see
+/// `vanet_trace::REASON_NAMES`): a cell-boundary crossing.
+const REASON_CELL_CROSSING: u8 = 4;
 
 /// A full-detail cell-leader table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -352,6 +356,12 @@ impl RlsmpProtocol {
         let order = self.grid.spiral_order(req.home);
         match order.get(spiral_idx as usize) {
             Some(&next) => {
+                core.trace(|t| TraceEvent::RouteDecision {
+                    t,
+                    query: req.query.0,
+                    from_level: 2,
+                    to_level: 2,
+                });
                 req.stage = RlsmpStage::Lsc {
                     cluster: next,
                     spiral_idx: spiral_idx + 1,
@@ -380,17 +390,48 @@ impl RlsmpProtocol {
                 self.prune_lsc(cluster, now);
                 match self.lsc_tables[cluster.0 as usize].get(&req.dst).copied() {
                     Some(LscEntry { cell, .. }) => {
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 2,
+                            hit: true,
+                        });
+                        core.trace(|t| TraceEvent::RouteDecision {
+                            t,
+                            query: req.query.0,
+                            from_level: 2,
+                            to_level: 1,
+                        });
                         let mut fwd = req;
                         fwd.stage = RlsmpStage::Cell { cell };
                         self.forward_request(core, at, fwd)
                     }
-                    None => self.miss_at_lsc(core, at, req, spiral_idx),
+                    None => {
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 2,
+                            hit: false,
+                        });
+                        self.miss_at_lsc(core, at, req, spiral_idx)
+                    }
                 }
             }
             RlsmpStage::Cell { cell } => {
                 self.prune_cell(cell, now);
                 match self.cell_tables[cell.0 as usize].get(&req.dst).copied() {
                     Some(_) => {
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 1,
+                            hit: true,
+                        });
+                        core.trace(|t| TraceEvent::NotifyBroadcast {
+                            t,
+                            query: req.query.0,
+                            directional: false,
+                        });
                         // One cell of margin: the destination keeps moving while
                         // the aggregation and the request travel.
                         let bbox = self.grid.cell_bbox(cell).inflate(self.grid.cell_size());
@@ -407,7 +448,16 @@ impl RlsmpProtocol {
                             },
                         ))
                     }
-                    None => Vec::new(), // stale LSC pointer: the query fails here
+                    None => {
+                        // Stale LSC pointer: the query fails here.
+                        core.trace(|t| TraceEvent::LevelVisit {
+                            t,
+                            query: req.query.0,
+                            level: 1,
+                            hit: false,
+                        });
+                        Vec::new()
+                    }
                 }
             }
         }
@@ -446,6 +496,12 @@ impl LocationService for RlsmpProtocol {
                 continue;
             }
             self.update_count += 1;
+            core.trace(|t| TraceEvent::UpdateTriggered {
+                t,
+                vehicle: s.id.0,
+                artery: false,
+                reason: REASON_CELL_CROSSING,
+            });
             fx.extend(self.send_update(core, s.id, s.new_pos, now));
         }
         fx
@@ -517,6 +573,9 @@ impl LocationService for RlsmpProtocol {
                 }
                 let fresh = !self.log.is_complete(query);
                 self.log.complete(query, now);
+                if fresh {
+                    core.trace(|t| TraceEvent::QueryAnswered { t, query: query.0 });
+                }
                 if !fresh || self.cfg.data_packets_per_session == 0 {
                     return Vec::new();
                 }
@@ -569,6 +628,13 @@ impl LocationService for RlsmpProtocol {
         let src_node = core.registry.node_of_vehicle(src);
         let pos = core.registry.pos(src_node);
         let home = self.grid.cluster_of(self.grid.cell_of(pos));
+        core.trace(|t| TraceEvent::QueryLaunched {
+            t,
+            query: query.0,
+            src: src.0,
+            dst: dst.0,
+            level: 2,
+        });
         let request = RlsmpRequest {
             query,
             src,

@@ -27,7 +27,7 @@ pub mod runner;
 
 pub use config::{Protocol, SimConfig};
 pub use figures::{fig3_2, fig3_3, fig3_345, fig3_4, fig3_5, ComparisonPoint, Figure, FigureScale};
-pub use metrics::{AveragedReport, RunReport, TimelinePoint};
+pub use metrics::{AveragedReport, PhaseTimingRow, RunReport, TimelinePoint};
 pub use plot::ascii_chart;
 pub use replicate::{replicate, replicate_averaged};
-pub use runner::run_simulation;
+pub use runner::{run_simulation, run_simulation_traced};

@@ -42,12 +42,17 @@ pub struct RunReport {
     pub success_rate: f64,
     /// **Fig 3.5**: latency stats (seconds) over successful queries.
     pub latency: Welford,
-    /// 95th-percentile latency in seconds (bucket upper edge), if any succeeded.
+    /// 95th-percentile latency in seconds (linearly interpolated within the
+    /// histogram bucket), if any succeeded.
     pub latency_p95: Option<f64>,
     /// In-flight drops per class `[update, collection, query, data]`.
     pub drops: [u64; 4],
     /// Drop causes `[ttl, isolated, no_progress, loss, no_route]` (diagnostics).
     pub drop_breakdown: [u64; 5],
+    /// Full drop matrix `[class][cause]`, classes `[update, collection, query,
+    /// data]` × causes `[ttl, isolated, no_progress, loss, no_route]`.
+    /// `drop_breakdown` is this matrix's column sums.
+    pub drop_matrix: [[u64; 5]; 4],
     /// Cumulative channel airtime per class `[update, collection, query, data]`
     /// in microseconds of serialization time.
     pub airtime_us: [u64; 4],
@@ -57,6 +62,34 @@ pub struct RunReport {
     pub diagnostics: Vec<(&'static str, f64)>,
     /// Periodic samples over the run (empty unless `SimConfig::timeline_period`).
     pub timeline: Vec<TimelinePoint>,
+    /// Wall-clock timings of the DES hot phases (empty unless the suite was
+    /// built with the `trace` cargo feature).
+    pub phase_timings: Vec<PhaseTimingRow>,
+}
+
+/// One DES hot phase's aggregated wall-clock cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseTimingRow {
+    /// Phase name (`event_pop`, `mobility_step`, `radio_delivery`,
+    /// `gpsr_next_hop`).
+    pub phase: &'static str,
+    /// Number of timed calls.
+    pub count: u64,
+    /// Mean call duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Total time in the phase, in milliseconds.
+    pub total_ms: f64,
+}
+
+impl From<vanet_trace::PhaseSummary> for PhaseTimingRow {
+    fn from(s: vanet_trace::PhaseSummary) -> Self {
+        PhaseTimingRow {
+            phase: s.phase,
+            count: s.count,
+            mean_ns: s.mean_ns,
+            total_ms: s.total_ms,
+        }
+    }
 }
 
 /// One timeline sample: simulation time plus the state visible at that moment.
@@ -108,6 +141,7 @@ impl RunReport {
                 counters.drop_count(PacketClass::Data),
             ],
             drop_breakdown: counters.drop_breakdown(),
+            drop_matrix: counters.drop_matrix(),
             airtime_us: [
                 counters.airtime(PacketClass::Update).as_micros(),
                 counters.airtime(PacketClass::Collection).as_micros(),
@@ -117,6 +151,7 @@ impl RunReport {
             artery_share: 0.0,
             diagnostics: Vec::new(),
             timeline: Vec::new(),
+            phase_timings: Vec::new(),
         }
     }
 

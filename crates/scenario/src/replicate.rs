@@ -2,13 +2,13 @@
 //!
 //! The paper averages Fig 3.5 over 10 simulations; we do the same for every figure.
 //! Runs are embarrassingly parallel (each owns its whole world), so we fan seeds
-//! out over crossbeam scoped threads and fold results back in seed order, keeping
+//! out over `std::thread::scope` and fold results back in seed order, keeping
 //! the aggregate deterministic.
 
 use crate::config::{Protocol, SimConfig};
 use crate::metrics::{AveragedReport, RunReport};
 use crate::runner::run_simulation;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `cfg` under `protocol` for seeds `0..replications`, in parallel, returning
 /// the per-seed reports in seed order.
@@ -19,25 +19,25 @@ pub fn replicate(cfg: &SimConfig, protocol: Protocol, replications: usize) -> Ve
         .map(|n| n.get())
         .unwrap_or(4);
     let chunk = replications.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for chunk_start in (0..replications).step_by(chunk.max(1)) {
             let results = &results;
             let cfg = cfg.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for seed_ix in chunk_start..(chunk_start + chunk).min(replications) {
                     let mut run_cfg = cfg.clone();
                     // Each replication gets its own master seed, offset from the
                     // configured one.
                     run_cfg.seed = cfg.seed.wrapping_add(seed_ix as u64);
                     let report = run_simulation(&run_cfg, protocol);
-                    results.lock()[seed_ix] = Some(report);
+                    results.lock().expect("results mutex poisoned")[seed_ix] = Some(report);
                 }
             });
         }
-    })
-    .expect("replication thread panicked");
+    });
     results
         .into_inner()
+        .expect("results mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every seed produced a report"))
         .collect()

@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::RngExt;
 use rlsmp::RlsmpProtocol;
 use std::sync::Arc;
-use vanet_des::{run_until, stream_rng, Control, EventQueue, SimDuration, SimTime, StreamId};
+use vanet_des::{stream_rng, EventQueue, SimDuration, SimTime, StreamId};
 use vanet_mobility::{
     LightConfig, MapMatcher, MobilityModel, Ns2Trace, TraceReplay, TrafficLights, VehicleId,
 };
@@ -22,6 +22,7 @@ use vanet_net::{
     Effect, LocationService, NetworkCore, NodeId, NodeRegistry, Transport, WiredNetwork,
 };
 use vanet_roadnet::{generate_grid, Partition, RoadNetwork};
+use vanet_trace::{Phase, Tracer, DEFAULT_RING_CAPACITY};
 
 /// Master event type of a run.
 enum Ev<P, T> {
@@ -86,6 +87,25 @@ impl MobilitySource {
 
 /// Runs one simulation of `cfg` under the chosen protocol.
 pub fn run_simulation(cfg: &SimConfig, protocol: Protocol) -> RunReport {
+    run_simulation_impl(cfg, protocol, None).0
+}
+
+/// Runs one simulation with a structured event trace attached, returning the
+/// report plus the tracer holding the event ring and derived metrics registry.
+pub fn run_simulation_traced(cfg: &SimConfig, protocol: Protocol) -> (RunReport, Tracer) {
+    let tracer = Box::new(Tracer::new(DEFAULT_RING_CAPACITY));
+    let (report, tracer) = run_simulation_impl(cfg, protocol, Some(tracer));
+    (
+        report,
+        *tracer.expect("tracer installed before the run survives it"),
+    )
+}
+
+fn run_simulation_impl(
+    cfg: &SimConfig,
+    protocol: Protocol,
+    tracer: Option<Box<Tracer>>,
+) -> (RunReport, Option<Box<Tracer>>) {
     let mut map_rng = stream_rng(cfg.seed, StreamId::MapGen);
     let net = match &cfg.map_text {
         Some(text) => vanet_roadnet::from_map_text(text).expect("invalid map_text"),
@@ -142,12 +162,15 @@ pub fn run_simulation(cfg: &SimConfig, protocol: Protocol) -> RunReport {
         }
         Protocol::Rlsmp => WiredNetwork::empty(),
     };
-    let core = NetworkCore::new(
+    let mut core = NetworkCore::new(
         registry,
         cfg.radio,
         wired,
         stream_rng(cfg.seed, StreamId::Radio),
     );
+    if let Some(t) = tracer {
+        core.set_tracer(t);
+    }
 
     match protocol {
         Protocol::Hlsrg => {
@@ -220,7 +243,7 @@ fn drive<L: LocationService>(
     mut core: NetworkCore,
     mut proto: L,
     deadline: SimDuration,
-) -> RunReport {
+) -> (RunReport, Option<Box<Tracer>>) {
     let mut queue: EventQueue<Ev<L::Payload, L::Timer>> = EventQueue::with_capacity(4096);
     let mut mob_rng = stream_rng(cfg.seed, StreamId::Mobility);
     let mut query_rng = stream_rng(cfg.seed, StreamId::Queries);
@@ -251,35 +274,49 @@ fn drive<L: LocationService>(
     let fx = proto.on_join(&mut core, &joins, SimTime::ZERO);
     apply(&mut queue, fx);
 
+    // The explicit event loop (same stopping rule as `vanet_des::run_until`:
+    // process while the head event's time is `<= horizon`), so the queue pop,
+    // the mobility step, and radio delivery can each sit inside a timing span.
     let horizon = SimTime::ZERO + cfg.duration;
-    run_until(&mut queue, horizon, |now, ev, queue| {
+    loop {
+        let popped = core
+            .timings
+            .time(Phase::EventPop, || match queue.peek_time() {
+                Some(t) if t <= horizon => queue.pop(),
+                _ => None,
+            });
+        let Some((now, ev)) = popped else { break };
+        core.set_trace_now(now);
         match ev {
             Ev::Tick => {
-                let samples = model.step(&net, &lights, now, &mut mob_rng);
+                let samples = core.timings.time(Phase::MobilityStep, || {
+                    model.step(&net, &lights, now, &mut mob_rng)
+                });
                 for s in samples {
                     let node = core.registry.node_of_vehicle(s.id);
                     core.registry.set_pos(node, s.new_pos);
                 }
                 let fx = proto.on_move(&mut core, samples, now);
-                apply(queue, fx);
+                apply(&mut queue, fx);
             }
             Ev::Deliver(to, transport) => {
+                // `handle_deliver` times itself under `Phase::RadioDelivery`.
                 let (arrived, more) = core.handle_deliver(to, transport);
                 for e in more {
                     queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport));
                 }
                 if let Some((class, payload)) = arrived {
                     let fx = proto.on_packet(&mut core, to, class, payload, now);
-                    apply(queue, fx);
+                    apply(&mut queue, fx);
                 }
             }
             Ev::Timer(key) => {
                 let fx = proto.on_timer(&mut core, key, now);
-                apply(queue, fx);
+                apply(&mut queue, fx);
             }
             Ev::Query(src, dst) => {
                 let fx = proto.launch_query(&mut core, src, dst, now);
-                apply(queue, fx);
+                apply(&mut queue, fx);
             }
             Ev::Sample => {
                 let completed = proto
@@ -299,8 +336,7 @@ fn drive<L: LocationService>(
                 });
             }
         }
-        Control::Continue
-    });
+    }
 
     let mut report = RunReport::from_counters(
         protocol.name(),
@@ -327,7 +363,8 @@ fn drive<L: LocationService>(
         .map(|&(_, v)| v as u64)
         .unwrap_or(0);
     report.timeline = timeline;
-    report
+    report.phase_timings = core.timings.summary().into_iter().map(Into::into).collect();
+    (report, core.take_tracer())
 }
 
 fn apply<P, T>(queue: &mut EventQueue<Ev<P, T>>, fx: Vec<Effect<P, T>>) {
@@ -388,6 +425,40 @@ mod tests {
             assert!(t >= SimTime::ZERO + cfg.warmup);
             assert!(t <= SimTime::ZERO + cfg.duration);
             assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn traced_run_reconciles_jsonl_with_report_counters() {
+        // The tentpole acceptance check, end to end: serialize the trace to
+        // JSONL, parse it back, rebuild the metrics registry from the parsed
+        // events, and require exact agreement with the RunReport counters.
+        for protocol in [Protocol::Hlsrg, Protocol::Rlsmp] {
+            let cfg = SimConfig::quick_demo(7);
+            let (report, tracer) = run_simulation_traced(&cfg, protocol);
+            assert_eq!(tracer.overwritten(), 0, "ring too small for quick_demo");
+            let events = vanet_trace::parse_jsonl(&tracer.to_jsonl());
+            assert_eq!(events.len(), tracer.len(), "JSONL round trip lost events");
+            let reg = vanet_trace::registry_from_events(&events);
+            assert_eq!(reg.originated(0), report.update_packets);
+            assert_eq!(reg.radio(0), report.update_radio_tx);
+            assert_eq!(reg.radio(1), report.collection_radio_tx);
+            assert_eq!(reg.radio(2), report.query_radio_tx);
+            assert_eq!(reg.wired(1), report.collection_wired_tx);
+            assert_eq!(reg.wired(2), report.query_wired_tx);
+            for c in 0..4u8 {
+                assert_eq!(reg.drops(c), report.drops[c as usize], "class {c} drops");
+            }
+            assert_eq!(reg.drops_by_cause(), report.drop_breakdown);
+            let (launched, answered, _) = reg.query_counts();
+            assert_eq!(launched as usize, report.queries_launched);
+            assert!(answered as usize <= report.queries_launched);
+            // The untraced run of the same config is byte-identical in counters:
+            // tracing must not perturb the simulation.
+            let plain = run_simulation(&cfg, protocol);
+            assert_eq!(plain.update_packets, report.update_packets);
+            assert_eq!(plain.query_radio_tx, report.query_radio_tx);
+            assert_eq!(plain.queries_succeeded, report.queries_succeeded);
         }
     }
 

@@ -1,0 +1,509 @@
+//! The trace vocabulary: one record per packet- or query-lifecycle step.
+//!
+//! Events are small `Copy` structs holding raw ids and code numbers so this crate
+//! needs no dependency on the network or protocol layers (which depend on *it*).
+//! The network layer maps its `PacketClass` / `DropKind` enums onto the code
+//! spaces below; the tables here give the codes their JSONL names.
+//!
+//! Serialization is hand-written JSONL: every value is a number, a boolean, or
+//! one of the static names below, so no JSON library is needed and `parse_line`
+//! can round-trip anything `to_jsonl` emits.
+
+use vanet_des::SimTime;
+
+/// Packet-class code names, indexed by the class code
+/// (`update`, `collection`, `query`, `data`).
+pub const CLASS_NAMES: [&str; 4] = ["update", "collection", "query", "data"];
+
+/// Drop-cause code names, indexed by the cause code
+/// (`ttl`, `isolated`, `no_progress`, `loss`, `no_route`).
+pub const CAUSE_NAMES: [&str; 5] = ["ttl", "isolated", "no_progress", "loss", "no_route"];
+
+/// Update-trigger reason names, indexed by the reason code. The first four are
+/// HLSRG's road-adapted triggers; `cell_crossing` is RLSMP's.
+pub const REASON_NAMES: [&str; 5] = [
+    "artery_turn",
+    "artery_l3",
+    "onto_artery",
+    "boundary",
+    "cell_crossing",
+];
+
+/// One structured trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A logical packet was originated at `node`.
+    Originated {
+        /// Simulation time.
+        t: SimTime,
+        /// Originating node id.
+        node: u32,
+        /// Packet-class code (see [`CLASS_NAMES`]).
+        class: u8,
+    },
+    /// `n` radio transmissions left `node` for one packet (hop retries and
+    /// broadcast relays batch into one record so counts still reconcile).
+    RadioHop {
+        /// Simulation time.
+        t: SimTime,
+        /// Transmitting node id.
+        node: u32,
+        /// Packet-class code.
+        class: u8,
+        /// Number of transmissions.
+        n: u64,
+    },
+    /// A packet crossed `hops` wired backbone links starting at `node`.
+    WiredHop {
+        /// Simulation time.
+        t: SimTime,
+        /// Sending RSU's node id.
+        node: u32,
+        /// Packet-class code.
+        class: u8,
+        /// Wired links traversed.
+        hops: u64,
+    },
+    /// A packet died in flight at `node`.
+    Dropped {
+        /// Simulation time.
+        t: SimTime,
+        /// Node where the packet died.
+        node: u32,
+        /// Packet-class code.
+        class: u8,
+        /// Drop-cause code (see [`CAUSE_NAMES`]).
+        cause: u8,
+    },
+    /// A packet reached its final hop at `node`.
+    Delivered {
+        /// Simulation time.
+        t: SimTime,
+        /// Receiving node id.
+        node: u32,
+        /// Packet-class code.
+        class: u8,
+    },
+    /// A location query was launched.
+    QueryLaunched {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Asking vehicle id.
+        src: u32,
+        /// Sought vehicle id.
+        dst: u32,
+        /// Hierarchy level the request was first addressed to (1–3).
+        level: u8,
+    },
+    /// A request was processed at a level center / RSU.
+    LevelVisit {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Hierarchy level (1–3).
+        level: u8,
+        /// Whether the lookup found the target.
+        hit: bool,
+    },
+    /// The request was re-addressed from one level to another (up on a miss,
+    /// down on a hit; `from_level` 0 means the querying vehicle itself).
+    RouteDecision {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Level the request left.
+        from_level: u8,
+        /// Level the request was sent to.
+        to_level: u8,
+    },
+    /// The serving node broadcast the notification toward the target.
+    NotifyBroadcast {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// `true` for the artery directional broadcast, `false` for the
+        /// normal-road region flood.
+        directional: bool,
+    },
+    /// The source received the destination's ACK.
+    QueryAnswered {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+    },
+    /// The source's timeout fallback fired and re-sent the request.
+    QueryRetried {
+        /// Simulation time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+    },
+    /// A protocol update rule triggered at a vehicle.
+    UpdateTriggered {
+        /// Simulation time.
+        t: SimTime,
+        /// Vehicle id.
+        vehicle: u32,
+        /// Whether the vehicle was on an artery road.
+        artery: bool,
+        /// Trigger reason code (see [`REASON_NAMES`]).
+        reason: u8,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Originated { t, .. }
+            | TraceEvent::RadioHop { t, .. }
+            | TraceEvent::WiredHop { t, .. }
+            | TraceEvent::Dropped { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::QueryLaunched { t, .. }
+            | TraceEvent::LevelVisit { t, .. }
+            | TraceEvent::RouteDecision { t, .. }
+            | TraceEvent::NotifyBroadcast { t, .. }
+            | TraceEvent::QueryAnswered { t, .. }
+            | TraceEvent::QueryRetried { t, .. }
+            | TraceEvent::UpdateTriggered { t, .. } => t,
+        }
+    }
+
+    /// The query id, for query-lifecycle events.
+    pub fn query_id(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::QueryLaunched { query, .. }
+            | TraceEvent::LevelVisit { query, .. }
+            | TraceEvent::RouteDecision { query, .. }
+            | TraceEvent::NotifyBroadcast { query, .. }
+            | TraceEvent::QueryAnswered { query, .. }
+            | TraceEvent::QueryRetried { query, .. } => Some(query),
+            _ => None,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let t = self.time().as_micros();
+        match *self {
+            TraceEvent::Originated { node, class, .. } => format!(
+                "{{\"type\":\"originated\",\"t_us\":{t},\"node\":{node},\"class\":\"{}\"}}",
+                class_name(class)
+            ),
+            TraceEvent::RadioHop { node, class, n, .. } => format!(
+                "{{\"type\":\"radio_hop\",\"t_us\":{t},\"node\":{node},\"class\":\"{}\",\"n\":{n}}}",
+                class_name(class)
+            ),
+            TraceEvent::WiredHop {
+                node, class, hops, ..
+            } => format!(
+                "{{\"type\":\"wired_hop\",\"t_us\":{t},\"node\":{node},\"class\":\"{}\",\"hops\":{hops}}}",
+                class_name(class)
+            ),
+            TraceEvent::Dropped {
+                node, class, cause, ..
+            } => format!(
+                "{{\"type\":\"dropped\",\"t_us\":{t},\"node\":{node},\"class\":\"{}\",\"cause\":\"{}\"}}",
+                class_name(class),
+                cause_name(cause)
+            ),
+            TraceEvent::Delivered { node, class, .. } => format!(
+                "{{\"type\":\"delivered\",\"t_us\":{t},\"node\":{node},\"class\":\"{}\"}}",
+                class_name(class)
+            ),
+            TraceEvent::QueryLaunched {
+                query,
+                src,
+                dst,
+                level,
+                ..
+            } => format!(
+                "{{\"type\":\"query_launched\",\"t_us\":{t},\"query\":{query},\"src\":{src},\"dst\":{dst},\"level\":{level}}}"
+            ),
+            TraceEvent::LevelVisit {
+                query, level, hit, ..
+            } => format!(
+                "{{\"type\":\"level_visit\",\"t_us\":{t},\"query\":{query},\"level\":{level},\"hit\":{hit}}}"
+            ),
+            TraceEvent::RouteDecision {
+                query,
+                from_level,
+                to_level,
+                ..
+            } => format!(
+                "{{\"type\":\"route_decision\",\"t_us\":{t},\"query\":{query},\"from_level\":{from_level},\"to_level\":{to_level}}}"
+            ),
+            TraceEvent::NotifyBroadcast {
+                query, directional, ..
+            } => format!(
+                "{{\"type\":\"notify_broadcast\",\"t_us\":{t},\"query\":{query},\"directional\":{directional}}}"
+            ),
+            TraceEvent::QueryAnswered { query, .. } => {
+                format!("{{\"type\":\"query_answered\",\"t_us\":{t},\"query\":{query}}}")
+            }
+            TraceEvent::QueryRetried { query, .. } => {
+                format!("{{\"type\":\"query_retried\",\"t_us\":{t},\"query\":{query}}}")
+            }
+            TraceEvent::UpdateTriggered {
+                vehicle,
+                artery,
+                reason,
+                ..
+            } => format!(
+                "{{\"type\":\"update_triggered\",\"t_us\":{t},\"vehicle\":{vehicle},\"artery\":{artery},\"reason\":\"{}\"}}",
+                reason_name(reason)
+            ),
+        }
+    }
+
+    /// Parses one JSONL line produced by [`Self::to_jsonl`]. Returns `None` for
+    /// blank lines or records this version doesn't know.
+    pub fn parse_line(line: &str) -> Option<TraceEvent> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let t = SimTime::from_micros(field_u64(line, "t_us")?);
+        match field_str(line, "type")? {
+            "originated" => Some(TraceEvent::Originated {
+                t,
+                node: field_u64(line, "node")? as u32,
+                class: class_code(field_str(line, "class")?)?,
+            }),
+            "radio_hop" => Some(TraceEvent::RadioHop {
+                t,
+                node: field_u64(line, "node")? as u32,
+                class: class_code(field_str(line, "class")?)?,
+                n: field_u64(line, "n")?,
+            }),
+            "wired_hop" => Some(TraceEvent::WiredHop {
+                t,
+                node: field_u64(line, "node")? as u32,
+                class: class_code(field_str(line, "class")?)?,
+                hops: field_u64(line, "hops")?,
+            }),
+            "dropped" => Some(TraceEvent::Dropped {
+                t,
+                node: field_u64(line, "node")? as u32,
+                class: class_code(field_str(line, "class")?)?,
+                cause: cause_code(field_str(line, "cause")?)?,
+            }),
+            "delivered" => Some(TraceEvent::Delivered {
+                t,
+                node: field_u64(line, "node")? as u32,
+                class: class_code(field_str(line, "class")?)?,
+            }),
+            "query_launched" => Some(TraceEvent::QueryLaunched {
+                t,
+                query: field_u64(line, "query")?,
+                src: field_u64(line, "src")? as u32,
+                dst: field_u64(line, "dst")? as u32,
+                level: field_u64(line, "level")? as u8,
+            }),
+            "level_visit" => Some(TraceEvent::LevelVisit {
+                t,
+                query: field_u64(line, "query")?,
+                level: field_u64(line, "level")? as u8,
+                hit: field_bool(line, "hit")?,
+            }),
+            "route_decision" => Some(TraceEvent::RouteDecision {
+                t,
+                query: field_u64(line, "query")?,
+                from_level: field_u64(line, "from_level")? as u8,
+                to_level: field_u64(line, "to_level")? as u8,
+            }),
+            "notify_broadcast" => Some(TraceEvent::NotifyBroadcast {
+                t,
+                query: field_u64(line, "query")?,
+                directional: field_bool(line, "directional")?,
+            }),
+            "query_answered" => Some(TraceEvent::QueryAnswered {
+                t,
+                query: field_u64(line, "query")?,
+            }),
+            "query_retried" => Some(TraceEvent::QueryRetried {
+                t,
+                query: field_u64(line, "query")?,
+            }),
+            "update_triggered" => Some(TraceEvent::UpdateTriggered {
+                t,
+                vehicle: field_u64(line, "vehicle")? as u32,
+                artery: field_bool(line, "artery")?,
+                reason: reason_code(field_str(line, "reason")?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The JSONL name of a packet-class code (unknown codes print as `unknown`).
+pub fn class_name(code: u8) -> &'static str {
+    CLASS_NAMES.get(code as usize).copied().unwrap_or("unknown")
+}
+
+/// The JSONL name of a drop-cause code.
+pub fn cause_name(code: u8) -> &'static str {
+    CAUSE_NAMES.get(code as usize).copied().unwrap_or("unknown")
+}
+
+/// The JSONL name of an update-reason code.
+pub fn reason_name(code: u8) -> &'static str {
+    REASON_NAMES
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+fn class_code(name: &str) -> Option<u8> {
+    CLASS_NAMES.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+fn cause_code(name: &str) -> Option<u8> {
+    CAUSE_NAMES.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+fn reason_code(name: &str) -> Option<u8> {
+    REASON_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .map(|i| i as u8)
+}
+
+/// Raw text of `"key":<value>` up to the next `,` or `}` (flat objects only,
+/// which is all this format ever emits).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    match field(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field(line, key)?
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = SimTime::from_micros(1_234_567);
+        vec![
+            TraceEvent::Originated {
+                t,
+                node: 7,
+                class: 0,
+            },
+            TraceEvent::RadioHop {
+                t,
+                node: 7,
+                class: 2,
+                n: 3,
+            },
+            TraceEvent::WiredHop {
+                t,
+                node: 501,
+                class: 1,
+                hops: 2,
+            },
+            TraceEvent::Dropped {
+                t,
+                node: 9,
+                class: 2,
+                cause: 3,
+            },
+            TraceEvent::Delivered {
+                t,
+                node: 12,
+                class: 3,
+            },
+            TraceEvent::QueryLaunched {
+                t,
+                query: 4,
+                src: 1,
+                dst: 2,
+                level: 1,
+            },
+            TraceEvent::LevelVisit {
+                t,
+                query: 4,
+                level: 2,
+                hit: false,
+            },
+            TraceEvent::RouteDecision {
+                t,
+                query: 4,
+                from_level: 2,
+                to_level: 3,
+            },
+            TraceEvent::NotifyBroadcast {
+                t,
+                query: 4,
+                directional: true,
+            },
+            TraceEvent::QueryAnswered { t, query: 4 },
+            TraceEvent::QueryRetried { t, query: 5 },
+            TraceEvent::UpdateTriggered {
+                t,
+                vehicle: 3,
+                artery: true,
+                reason: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in sample_events() {
+            let line = ev.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            let back = TraceEvent::parse_line(&line).expect(&line);
+            assert_eq!(back, ev, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn blank_and_garbage_lines_are_none() {
+        assert_eq!(TraceEvent::parse_line(""), None);
+        assert_eq!(TraceEvent::parse_line("   "), None);
+        assert_eq!(TraceEvent::parse_line("{\"type\":\"martian\"}"), None);
+        assert_eq!(TraceEvent::parse_line("not json at all"), None);
+    }
+
+    #[test]
+    fn code_tables_round_trip() {
+        for (i, &n) in CLASS_NAMES.iter().enumerate() {
+            assert_eq!(class_code(n), Some(i as u8));
+            assert_eq!(class_name(i as u8), n);
+        }
+        for (i, &n) in CAUSE_NAMES.iter().enumerate() {
+            assert_eq!(cause_code(n), Some(i as u8));
+        }
+        for (i, &n) in REASON_NAMES.iter().enumerate() {
+            assert_eq!(reason_code(n), Some(i as u8));
+        }
+        assert_eq!(class_name(200), "unknown");
+    }
+}

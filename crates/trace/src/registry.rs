@@ -1,0 +1,499 @@
+//! The per-node / per-level metrics registry.
+//!
+//! Every recorded [`TraceEvent`] also folds into this registry, reusing the
+//! `vanet_des::stats` primitives: counters per node and per packet class,
+//! hit/miss counters and latency accumulators per hierarchy level (L1/L2/L3),
+//! and update-trigger counters split by artery vs. normal road class.
+
+use crate::event::TraceEvent;
+use std::collections::HashMap;
+use vanet_des::{Counter, Histogram, SimTime, Welford};
+
+/// Latency histogram geometry: 100 ms bins spanning 30 s.
+const LATENCY_BIN_S: f64 = 0.1;
+const LATENCY_BINS: usize = 300;
+
+/// Per-node transmission/delivery/drop counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeMetrics {
+    /// Logical packets originated here.
+    pub originated: Counter,
+    /// Radio transmissions sent from here.
+    pub radio_tx: Counter,
+    /// Final-hop deliveries received here.
+    pub delivered: Counter,
+    /// Packets that died in flight here.
+    pub drops: Counter,
+}
+
+/// Summary of one hierarchy level's query traffic.
+#[derive(Debug, Clone)]
+pub struct LevelSummary {
+    /// Level number (1–3).
+    pub level: u8,
+    /// Lookups that found the target.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Latency stats (seconds) of queries whose deepest visit was this level.
+    pub latency: Welford,
+    /// 50th/95th/99th latency percentiles in seconds, if any query resolved here.
+    pub p50: Option<f64>,
+    /// 95th percentile.
+    pub p95: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+}
+
+/// The registry: aggregate metrics derived from the event stream.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    nodes: Vec<NodeMetrics>,
+    class_originated: [Counter; 4],
+    class_radio: [Counter; 4],
+    class_wired: [Counter; 4],
+    class_delivered: [Counter; 4],
+    class_drops: [Counter; 4],
+    drop_cause: [Counter; 5],
+    level_hits: [Counter; 3],
+    level_misses: [Counter; 3],
+    level_latency: [Welford; 3],
+    level_hist: [Histogram; 3],
+    updates_artery: Counter,
+    updates_normal: Counter,
+    notify_directional: Counter,
+    notify_region: Counter,
+    queries_launched: Counter,
+    queries_answered: Counter,
+    queries_retried: Counter,
+    route_up: Counter,
+    route_down: Counter,
+    /// Launch time and deepest level visited, per open query.
+    open: HashMap<u64, (SimTime, u8)>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            nodes: Vec::new(),
+            class_originated: Default::default(),
+            class_radio: Default::default(),
+            class_wired: Default::default(),
+            class_delivered: Default::default(),
+            class_drops: Default::default(),
+            drop_cause: Default::default(),
+            level_hits: Default::default(),
+            level_misses: Default::default(),
+            level_latency: Default::default(),
+            level_hist: std::array::from_fn(|_| Histogram::new(LATENCY_BIN_S, LATENCY_BINS)),
+            updates_artery: Counter::new(),
+            updates_normal: Counter::new(),
+            notify_directional: Counter::new(),
+            notify_region: Counter::new(),
+            queries_launched: Counter::new(),
+            queries_answered: Counter::new(),
+            queries_retried: Counter::new(),
+            route_up: Counter::new(),
+            route_down: Counter::new(),
+            open: HashMap::new(),
+        }
+    }
+
+    fn node(&mut self, id: u32) -> &mut NodeMetrics {
+        let ix = id as usize;
+        if ix >= self.nodes.len() {
+            self.nodes.resize(ix + 1, NodeMetrics::default());
+        }
+        &mut self.nodes[ix]
+    }
+
+    fn level_ix(level: u8) -> usize {
+        (level.clamp(1, 3) - 1) as usize
+    }
+
+    /// Folds one event into the aggregates.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Originated { node, class, .. } => {
+                self.class_originated[class as usize & 3].incr();
+                self.node(node).originated.incr();
+            }
+            TraceEvent::RadioHop { node, class, n, .. } => {
+                self.class_radio[class as usize & 3].add(n);
+                self.node(node).radio_tx.add(n);
+            }
+            TraceEvent::WiredHop { class, hops, .. } => {
+                self.class_wired[class as usize & 3].add(hops);
+            }
+            TraceEvent::Dropped {
+                node, class, cause, ..
+            } => {
+                self.class_drops[class as usize & 3].incr();
+                if let Some(c) = self.drop_cause.get_mut(cause as usize) {
+                    c.incr();
+                }
+                self.node(node).drops.incr();
+            }
+            TraceEvent::Delivered { node, class, .. } => {
+                self.class_delivered[class as usize & 3].incr();
+                self.node(node).delivered.incr();
+            }
+            TraceEvent::QueryLaunched {
+                t, query, level, ..
+            } => {
+                self.queries_launched.incr();
+                self.open.insert(query, (t, level.clamp(1, 3)));
+            }
+            TraceEvent::LevelVisit {
+                query, level, hit, ..
+            } => {
+                let ix = Self::level_ix(level);
+                if hit {
+                    self.level_hits[ix].incr();
+                } else {
+                    self.level_misses[ix].incr();
+                }
+                if let Some((_, deepest)) = self.open.get_mut(&query) {
+                    *deepest = (*deepest).max(level.clamp(1, 3));
+                }
+            }
+            TraceEvent::RouteDecision {
+                from_level,
+                to_level,
+                ..
+            } => {
+                if to_level > from_level {
+                    self.route_up.incr();
+                } else {
+                    self.route_down.incr();
+                }
+            }
+            TraceEvent::NotifyBroadcast { directional, .. } => {
+                if directional {
+                    self.notify_directional.incr();
+                } else {
+                    self.notify_region.incr();
+                }
+            }
+            TraceEvent::QueryAnswered { t, query } => {
+                if let Some((launched, deepest)) = self.open.remove(&query) {
+                    self.queries_answered.incr();
+                    let lat = t.saturating_since(launched).as_secs_f64();
+                    let ix = Self::level_ix(deepest);
+                    self.level_latency[ix].record(lat);
+                    self.level_hist[ix].record(lat);
+                }
+            }
+            TraceEvent::QueryRetried { .. } => {
+                self.queries_retried.incr();
+            }
+            TraceEvent::UpdateTriggered { artery, .. } => {
+                if artery {
+                    self.updates_artery.incr();
+                } else {
+                    self.updates_normal.incr();
+                }
+            }
+        }
+    }
+
+    /// Radio transmissions per class code.
+    pub fn radio(&self, class: u8) -> u64 {
+        self.class_radio[class as usize & 3].get()
+    }
+
+    /// Wired link traversals per class code.
+    pub fn wired(&self, class: u8) -> u64 {
+        self.class_wired[class as usize & 3].get()
+    }
+
+    /// Originations per class code.
+    pub fn originated(&self, class: u8) -> u64 {
+        self.class_originated[class as usize & 3].get()
+    }
+
+    /// Final-hop deliveries per class code.
+    pub fn delivered(&self, class: u8) -> u64 {
+        self.class_delivered[class as usize & 3].get()
+    }
+
+    /// Drops per class code.
+    pub fn drops(&self, class: u8) -> u64 {
+        self.class_drops[class as usize & 3].get()
+    }
+
+    /// Drops per cause code `[ttl, isolated, no_progress, loss, no_route]`.
+    pub fn drops_by_cause(&self) -> [u64; 5] {
+        std::array::from_fn(|i| self.drop_cause[i].get())
+    }
+
+    /// Queries launched / answered / retried.
+    pub fn query_counts(&self) -> (u64, u64, u64) {
+        (
+            self.queries_launched.get(),
+            self.queries_answered.get(),
+            self.queries_retried.get(),
+        )
+    }
+
+    /// Requests re-addressed up / down the hierarchy.
+    pub fn route_counts(&self) -> (u64, u64) {
+        (self.route_up.get(), self.route_down.get())
+    }
+
+    /// Update triggers on artery vs. normal roads.
+    pub fn updates_by_road_class(&self) -> (u64, u64) {
+        (self.updates_artery.get(), self.updates_normal.get())
+    }
+
+    /// Directional vs. region notification broadcasts.
+    pub fn notify_counts(&self) -> (u64, u64) {
+        (self.notify_directional.get(), self.notify_region.get())
+    }
+
+    /// Per-level hit/miss/latency summaries for L1–L3.
+    pub fn level_summaries(&self) -> Vec<LevelSummary> {
+        (0..3)
+            .map(|ix| LevelSummary {
+                level: ix as u8 + 1,
+                hits: self.level_hits[ix].get(),
+                misses: self.level_misses[ix].get(),
+                latency: self.level_latency[ix],
+                p50: self.level_hist[ix].quantile(0.50),
+                p95: self.level_hist[ix].quantile(0.95),
+                p99: self.level_hist[ix].quantile(0.99),
+            })
+            .collect()
+    }
+
+    /// The `k` nodes with the most radio transmissions, busiest first
+    /// (ties broken by lower node id).
+    pub fn busiest_nodes(&self, k: usize) -> Vec<(u32, NodeMetrics)> {
+        let mut all: Vec<(u32, NodeMetrics)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.radio_tx.get() > 0 || m.drops.get() > 0)
+            .map(|(i, m)| (i as u32, *m))
+            .collect();
+        all.sort_by_key(|&(id, m)| (std::cmp::Reverse(m.radio_tx.get()), id));
+        all.truncate(k);
+        all
+    }
+
+    /// Metrics of one node, if it ever appeared in the stream.
+    pub fn node_metrics(&self, id: u32) -> Option<NodeMetrics> {
+        self.nodes.get(id as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn packet_events_aggregate_per_class_and_node() {
+        let mut r = MetricsRegistry::new();
+        r.observe(&TraceEvent::Originated {
+            t: t(0),
+            node: 1,
+            class: 0,
+        });
+        r.observe(&TraceEvent::RadioHop {
+            t: t(1),
+            node: 1,
+            class: 0,
+            n: 1,
+        });
+        r.observe(&TraceEvent::RadioHop {
+            t: t(2),
+            node: 2,
+            class: 2,
+            n: 4,
+        });
+        r.observe(&TraceEvent::WiredHop {
+            t: t(3),
+            node: 9,
+            class: 2,
+            hops: 2,
+        });
+        r.observe(&TraceEvent::Dropped {
+            t: t(4),
+            node: 2,
+            class: 2,
+            cause: 3,
+        });
+        r.observe(&TraceEvent::Delivered {
+            t: t(5),
+            node: 3,
+            class: 0,
+        });
+        assert_eq!(r.radio(0), 1);
+        assert_eq!(r.radio(2), 4);
+        assert_eq!(r.wired(2), 2);
+        assert_eq!(r.originated(0), 1);
+        assert_eq!(r.delivered(0), 1);
+        assert_eq!(r.drops(2), 1);
+        assert_eq!(r.drops_by_cause(), [0, 0, 0, 1, 0]);
+        let busiest = r.busiest_nodes(10);
+        assert_eq!(busiest[0].0, 2);
+        assert_eq!(busiest[0].1.radio_tx.get(), 4);
+        assert_eq!(r.node_metrics(3).unwrap().delivered.get(), 1);
+    }
+
+    #[test]
+    fn query_latency_buckets_by_deepest_level() {
+        let mut r = MetricsRegistry::new();
+        // Query 1 resolves at L1 after 0.2 s.
+        r.observe(&TraceEvent::QueryLaunched {
+            t: t(0),
+            query: 1,
+            src: 0,
+            dst: 1,
+            level: 1,
+        });
+        r.observe(&TraceEvent::LevelVisit {
+            t: t(50_000),
+            query: 1,
+            level: 1,
+            hit: true,
+        });
+        r.observe(&TraceEvent::QueryAnswered {
+            t: t(200_000),
+            query: 1,
+        });
+        // Query 2 climbs to L3 and resolves after 1.0 s.
+        r.observe(&TraceEvent::QueryLaunched {
+            t: t(0),
+            query: 2,
+            src: 2,
+            dst: 3,
+            level: 1,
+        });
+        r.observe(&TraceEvent::LevelVisit {
+            t: t(1000),
+            query: 2,
+            level: 1,
+            hit: false,
+        });
+        r.observe(&TraceEvent::RouteDecision {
+            t: t(1000),
+            query: 2,
+            from_level: 1,
+            to_level: 2,
+        });
+        r.observe(&TraceEvent::LevelVisit {
+            t: t(2000),
+            query: 2,
+            level: 2,
+            hit: false,
+        });
+        r.observe(&TraceEvent::RouteDecision {
+            t: t(2000),
+            query: 2,
+            from_level: 2,
+            to_level: 3,
+        });
+        r.observe(&TraceEvent::LevelVisit {
+            t: t(3000),
+            query: 2,
+            level: 3,
+            hit: true,
+        });
+        r.observe(&TraceEvent::RouteDecision {
+            t: t(3000),
+            query: 2,
+            from_level: 3,
+            to_level: 2,
+        });
+        r.observe(&TraceEvent::QueryAnswered {
+            t: t(1_000_000),
+            query: 2,
+        });
+
+        let (launched, answered, retried) = r.query_counts();
+        assert_eq!((launched, answered, retried), (2, 2, 0));
+        let levels = r.level_summaries();
+        assert_eq!(levels[0].hits, 1);
+        assert_eq!(levels[0].misses, 1);
+        assert_eq!(levels[2].hits, 1);
+        assert_eq!(levels[0].latency.count(), 1);
+        assert!((levels[0].latency.mean().unwrap() - 0.2).abs() < 1e-9);
+        assert_eq!(levels[2].latency.count(), 1);
+        assert!((levels[2].latency.mean().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(r.route_counts(), (2, 1));
+    }
+
+    #[test]
+    fn unanswered_and_duplicate_answers_are_safe() {
+        let mut r = MetricsRegistry::new();
+        r.observe(&TraceEvent::QueryAnswered {
+            t: t(10),
+            query: 99,
+        }); // never launched
+        r.observe(&TraceEvent::QueryLaunched {
+            t: t(0),
+            query: 1,
+            src: 0,
+            dst: 1,
+            level: 2,
+        });
+        r.observe(&TraceEvent::QueryAnswered {
+            t: t(100),
+            query: 1,
+        });
+        r.observe(&TraceEvent::QueryAnswered {
+            t: t(200),
+            query: 1,
+        }); // duplicate
+        let (_, answered, _) = r.query_counts();
+        assert_eq!(answered, 1);
+        assert_eq!(r.level_summaries()[1].latency.count(), 1);
+    }
+
+    #[test]
+    fn road_class_and_notify_splits() {
+        let mut r = MetricsRegistry::new();
+        r.observe(&TraceEvent::UpdateTriggered {
+            t: t(0),
+            vehicle: 1,
+            artery: true,
+            reason: 0,
+        });
+        r.observe(&TraceEvent::UpdateTriggered {
+            t: t(1),
+            vehicle: 2,
+            artery: false,
+            reason: 3,
+        });
+        r.observe(&TraceEvent::UpdateTriggered {
+            t: t(2),
+            vehicle: 3,
+            artery: true,
+            reason: 1,
+        });
+        r.observe(&TraceEvent::NotifyBroadcast {
+            t: t(3),
+            query: 1,
+            directional: true,
+        });
+        r.observe(&TraceEvent::NotifyBroadcast {
+            t: t(4),
+            query: 2,
+            directional: false,
+        });
+        assert_eq!(r.updates_by_road_class(), (2, 1));
+        assert_eq!(r.notify_counts(), (1, 1));
+    }
+}

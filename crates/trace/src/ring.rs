@@ -1,0 +1,122 @@
+//! A preallocated ring buffer of trace events.
+//!
+//! The buffer is sized once up front; recording never allocates. When full it
+//! overwrites the oldest record and counts the overwrite, so a too-small ring is
+//! visible (and reconciliation against counters knows to expect a shortfall)
+//! rather than silently complete-looking.
+
+use crate::event::TraceEvent;
+
+/// Fixed-capacity event ring (oldest-overwriting).
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    start: usize,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            start: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_des::SimTime;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::QueryAnswered {
+            t: SimTime::from_micros(i),
+            query: i,
+        }
+    }
+
+    fn queries(r: &EventRing) -> Vec<u64> {
+        r.iter().map(|e| e.query_id().unwrap()).collect()
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = EventRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(queries(&r), vec![0, 1, 2]);
+        assert_eq!(r.overwritten(), 0);
+        r.push(ev(3));
+        r.push(ev(4));
+        assert_eq!(r.len(), 3);
+        assert_eq!(queries(&r), vec![2, 3, 4]);
+        assert_eq!(r.overwritten(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(queries(&r), vec![2]);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let mut r = EventRing::new(4);
+        for i in 0..23 {
+            r.push(ev(i));
+        }
+        assert_eq!(queries(&r), vec![19, 20, 21, 22]);
+        assert_eq!(r.overwritten(), 19);
+    }
+}

@@ -1,0 +1,197 @@
+//! Timing spans around DES hot phases, gated by the `trace` cargo feature.
+//!
+//! With the feature **off** (the default), [`PhaseTimings::time`] is a direct
+//! call to the closure — the struct is zero-sized, no clock is read, and the
+//! optimizer erases the wrapper entirely, so release benchmarks pay nothing.
+//! With the feature **on**, each call records wall-clock nanoseconds into a
+//! per-phase [`Welford`] accumulator.
+
+#[cfg(feature = "trace")]
+use vanet_des::Welford;
+
+/// A hot phase of the simulation loop worth timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Popping the next event off the DES queue.
+    EventPop,
+    /// Advancing the mobility model one tick.
+    MobilityStep,
+    /// Processing one radio delivery (including GPSR forwarding).
+    RadioDelivery,
+    /// One GPSR next-hop selection (greedy + perimeter recovery).
+    GpsrNextHop,
+}
+
+/// Number of [`Phase`] variants.
+pub const PHASE_COUNT: usize = 4;
+
+impl Phase {
+    /// Stable index of the phase.
+    pub fn ix(self) -> usize {
+        match self {
+            Phase::EventPop => 0,
+            Phase::MobilityStep => 1,
+            Phase::RadioDelivery => 2,
+            Phase::GpsrNextHop => 3,
+        }
+    }
+
+    /// Display name of the phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::EventPop => "event_pop",
+            Phase::MobilityStep => "mobility_step",
+            Phase::RadioDelivery => "radio_delivery",
+            Phase::GpsrNextHop => "gpsr_next_hop",
+        }
+    }
+
+    /// All phases, in index order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::EventPop,
+        Phase::MobilityStep,
+        Phase::RadioDelivery,
+        Phase::GpsrNextHop,
+    ];
+}
+
+/// Per-phase wall-clock accumulators (zero-sized unless `trace` is enabled).
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimings {
+    #[cfg(feature = "trace")]
+    acc: [Welford; PHASE_COUNT],
+}
+
+/// One phase's aggregated timing, as surfaced in reports.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub phase: &'static str,
+    /// Number of timed calls.
+    pub count: u64,
+    /// Mean call duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Total time spent in the phase, in milliseconds.
+    pub total_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Whether timing spans are compiled in.
+    pub const ENABLED: bool = cfg!(feature = "trace");
+
+    /// Creates empty accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `phase` when the `trace`
+    /// feature is on; otherwise just calls it.
+    #[inline(always)]
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        #[cfg(feature = "trace")]
+        {
+            let start = std::time::Instant::now();
+            let r = f();
+            self.acc[phase.ix()].record(start.elapsed().as_nanos() as f64);
+            r
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = phase;
+            f()
+        }
+    }
+
+    /// Attributes an externally measured duration to `phase` (for call sites
+    /// where wrapping a closure would split a borrow). No-op with the feature
+    /// off.
+    #[inline(always)]
+    pub fn record_duration(&mut self, phase: Phase, elapsed: std::time::Duration) {
+        #[cfg(feature = "trace")]
+        self.acc[phase.ix()].record(elapsed.as_nanos() as f64);
+        #[cfg(not(feature = "trace"))]
+        let _ = (phase, elapsed);
+    }
+
+    /// Folds another set of accumulators into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        #[cfg(feature = "trace")]
+        for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+            a.merge(b);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = other;
+    }
+
+    /// Summaries of phases that ran at least once (always empty with the
+    /// feature off).
+    pub fn summary(&self) -> Vec<PhaseSummary> {
+        #[cfg(feature = "trace")]
+        {
+            Phase::ALL
+                .iter()
+                .filter_map(|&p| {
+                    let w = &self.acc[p.ix()];
+                    let mean = w.mean()?;
+                    Some(PhaseSummary {
+                        phase: p.name(),
+                        count: w.count(),
+                        mean_ns: mean,
+                        total_ms: mean * w.count() as f64 / 1e6,
+                    })
+                })
+                .collect()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let mut t = PhaseTimings::new();
+        let v = t.time(Phase::GpsrNextHop, || 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_named() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.ix(), i);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn disabled_summary_is_empty_and_struct_is_zero_sized() {
+        let mut t = PhaseTimings::new();
+        t.time(Phase::EventPop, || ());
+        assert!(t.summary().is_empty());
+        assert_eq!(std::mem::size_of::<PhaseTimings>(), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn enabled_summary_counts_calls() {
+        let mut t = PhaseTimings::new();
+        for _ in 0..5 {
+            t.time(Phase::MobilityStep, || std::hint::black_box(3 * 7));
+        }
+        let s = t.summary();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].phase, "mobility_step");
+        assert_eq!(s[0].count, 5);
+        assert!(s[0].mean_ns >= 0.0);
+        let mut other = PhaseTimings::new();
+        other.time(Phase::MobilityStep, || ());
+        t.merge(&other);
+        assert_eq!(t.summary()[0].count, 6);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`baseline`] — the RLSMP baseline protocol the paper compares against.
 //! * [`scenario`] — experiment harness, metrics, and generators for every figure in
 //!   the paper's evaluation.
+//! * [`trace`] — structured event trace (JSONL), per-node/per-level metrics
+//!   registry, and feature-gated timing spans around the DES hot phases.
 //!
 //! ## Quickstart
 //!
@@ -41,3 +43,4 @@ pub use vanet_roadnet as roadnet;
 pub use hlsrg as protocol;
 pub use rlsmp as baseline;
 pub use vanet_scenario as scenario;
+pub use vanet_trace as trace;

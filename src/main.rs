@@ -2,19 +2,21 @@
 //!
 //! ```text
 //! hlsrg run      [--protocol hlsrg|rlsmp] [--vehicles N] [--map-size M] [--seed S]
-//!                [--duration SECS] [--csv]
+//!                [--duration SECS] [--csv] [--trace-out FILE]
 //! hlsrg figures  [--paper] [--csv]
 //! hlsrg compare  [--vehicles N] [--seed S] [--reps R]
 //! hlsrg map      [--size M] [--jitter J] [--seed S] [--out FILE]
+//! hlsrg inspect  FILE [--top N] [--query ID]
 //! ```
 
 use hlsrg_suite::des::{SimDuration, SimTime};
 use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace, TrafficLights};
 use hlsrg_suite::roadnet::{generate_grid, to_map_text, GridMapSpec};
 use hlsrg_suite::scenario::{
-    fig3_2, fig3_345, replicate_averaged, run_simulation, FigureScale, Protocol, RunReport,
-    SimConfig,
+    fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_traced, FigureScale,
+    Protocol, RunReport, SimConfig,
 };
+use hlsrg_suite::trace::{cause_name, registry_from_events, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -26,6 +28,10 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    if cmd == "inspect" {
+        // `inspect` takes a positional file argument before its flags.
+        return cmd_inspect(rest);
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -59,6 +65,7 @@ fn usage() {
 commands:
   run      one simulation            --protocol hlsrg|rlsmp  --vehicles N
                                      --map-size M  --seed S  --duration SECS  --csv
+                                     --trace-out FILE (JSONL event trace)
   figures  regenerate the paper's    --paper (full sweep)  --csv
            evaluation figures
   compare  HLSRG vs RLSMP summary    --vehicles N  --seed S  --reps R
@@ -66,6 +73,8 @@ commands:
   trace    emit an ns-2 movement     --size M  --vehicles N  --duration SECS
            trace (VanetMobiSim       --seed S  --out FILE
            interchange format)
+  inspect  summarize a JSONL trace   FILE  --top N (busiest nodes / drop causes)
+           from `run --trace-out`    --query ID (one query's timeline)
   help     this message"
     );
 }
@@ -164,8 +173,181 @@ fn print_report(r: &RunReport, csv: bool) {
 
 fn cmd_run(flags: &Flags) -> ExitCode {
     let cfg = config_of(flags);
-    let r = run_simulation(&cfg, protocol_of(flags));
+    let protocol = protocol_of(flags);
+    let Some(path) = flags.get("trace-out") else {
+        let r = run_simulation(&cfg, protocol);
+        print_report(&r, flags.contains_key("csv"));
+        return ExitCode::SUCCESS;
+    };
+    // Open the output before the (potentially long) run so a bad path fails fast.
+    let mut file = match std::fs::File::create(path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("error: cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (r, tracer) = run_simulation_traced(&cfg, protocol);
+    if let Err(e) = tracer.write_jsonl(&mut file) {
+        eprintln!("error: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
     print_report(&r, flags.contains_key("csv"));
+    let dropped = if tracer.overwritten() > 0 {
+        format!(
+            " ({} oldest overwritten by ring wrap)",
+            tracer.overwritten()
+        )
+    } else {
+        String::new()
+    };
+    eprintln!("wrote {} trace events to {path}{dropped}", tracer.len());
+    for p in &r.phase_timings {
+        eprintln!(
+            "  phase {:<14} {:>9} calls  mean {:>8.0} ns  total {:>8.1} ms",
+            p.phase, p.count, p.mean_ns, p.total_ms
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let Some((file, rest)) = args.split_first().filter(|(f, _)| !f.starts_with("--")) else {
+        eprintln!("error: inspect needs a trace file (hlsrg inspect FILE)");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = hlsrg_suite::trace::parse_jsonl(&text);
+    if events.is_empty() {
+        eprintln!("error: no trace events in {file}");
+        return ExitCode::FAILURE;
+    }
+    let nonblank = text.lines().filter(|l| !l.trim().is_empty()).count();
+    if nonblank != events.len() {
+        eprintln!(
+            "error: {} of {nonblank} lines in {file} are not valid trace events",
+            nonblank - events.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(q) = flags.get("query").and_then(|v| v.parse::<u64>().ok()) {
+        return print_query_timeline(&events, q);
+    }
+    let top = get(&flags, "top", 5usize);
+    let reg = registry_from_events(&events);
+    let span = events
+        .last()
+        .unwrap()
+        .time()
+        .saturating_since(events[0].time());
+    println!(
+        "== {} events over {:.1} s ==",
+        events.len(),
+        span.as_secs_f64()
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "class", "originated", "radio tx", "wired tx", "delivered", "drops"
+    );
+    for (c, name) in hlsrg_suite::trace::CLASS_NAMES.iter().enumerate() {
+        let c = c as u8;
+        println!(
+            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            name,
+            reg.originated(c),
+            reg.radio(c),
+            reg.wired(c),
+            reg.delivered(c),
+            reg.drops(c)
+        );
+    }
+    let (launched, answered, retried) = reg.query_counts();
+    let (up, down) = reg.route_counts();
+    println!("\nqueries: {launched} launched, {answered} answered, {retried} retried; routed up {up} / down {down}");
+    let (art, norm) = reg.updates_by_road_class();
+    let (dir, region) = reg.notify_counts();
+    println!("updates: {art} artery, {norm} normal; notifies: {dir} directional, {region} region");
+
+    let mut causes: Vec<(usize, u64)> = reg
+        .drops_by_cause()
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    causes.sort_by_key(|&(i, n)| (std::cmp::Reverse(n), i));
+    println!("\ntop drop causes:");
+    if causes.is_empty() {
+        println!("  (no drops)");
+    }
+    for (i, n) in causes.into_iter().take(top) {
+        println!("  {:<12} {n}", cause_name(i as u8));
+    }
+
+    println!("\nper-level latency (deepest level visited):");
+    for l in reg.level_summaries() {
+        let pct = |v: Option<f64>| match v {
+            Some(s) => format!("{s:>7.3}s"),
+            None => "     n/a".into(),
+        };
+        println!(
+            "  L{}  hits {:>6}  misses {:>6}  p50 {}  p95 {}  p99 {}",
+            l.level,
+            l.hits,
+            l.misses,
+            pct(l.p50),
+            pct(l.p95),
+            pct(l.p99)
+        );
+    }
+
+    println!("\nbusiest nodes (radio tx):");
+    let busiest = reg.busiest_nodes(top);
+    if busiest.is_empty() {
+        println!("  (no radio activity)");
+    }
+    for (id, m) in busiest {
+        println!(
+            "  node {id:<6} {:>8} tx  {:>6} originated  {:>6} delivered  {:>4} drops",
+            m.radio_tx.get(),
+            m.originated.get(),
+            m.delivered.get(),
+            m.drops.get()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints every lifecycle record of one query, with times relative to launch.
+fn print_query_timeline(events: &[TraceEvent], q: u64) -> ExitCode {
+    let of_query: Vec<&TraceEvent> = events.iter().filter(|e| e.query_id() == Some(q)).collect();
+    let Some(first) = of_query.first() else {
+        eprintln!("error: query {q} does not appear in the trace");
+        return ExitCode::FAILURE;
+    };
+    let t0 = first.time();
+    println!("== query {q}: {} events ==", of_query.len());
+    for e in of_query {
+        println!(
+            "  +{:>9.6}s  {}",
+            e.time().saturating_since(t0).as_secs_f64(),
+            e.to_jsonl()
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,13 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! Offline builds cannot fetch the real serde; the workspace only needs the
+//! derive attributes to parse (no code path serializes through serde), so this
+//! crate provides marker traits and re-exports the no-op derives.
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stand-in.
+//!
+//! The workspace derives serde traits on many types for forward compatibility,
+//! but nothing in the offline build actually serializes through serde (JSONL
+//! export in `vanet-trace` writes JSON by hand). These derives accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
