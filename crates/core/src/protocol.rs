@@ -1024,4 +1024,93 @@ impl LocationService for HlsrgProtocol {
             ("data_delivered", self.stats.data_delivered as f64),
         ]
     }
+
+    /// Location-table soundness (`check` feature): every L1 entry sits in the
+    /// table of the grid it was addressed to, its position maps back to that
+    /// grid, and it has not drifted beyond the staleness bound of the vehicle's
+    /// ground-truth position; upper-level entries carry sane timestamps and
+    /// in-range reporter ids.
+    #[cfg(feature = "check")]
+    fn check_invariants(
+        &self,
+        core: &NetworkCore,
+        now: SimTime,
+        max_speed: f64,
+        pos_slack: f64,
+    ) -> Result<(), String> {
+        for (gi, table) in self.l1_tables.iter().enumerate() {
+            for (v, e) in table.iter() {
+                if e.time > now {
+                    return Err(format!("L1[{gi}] entry for {v:?} is from the future"));
+                }
+                if e.l1 != L1Id(gi as u32) {
+                    return Err(format!(
+                        "L1[{gi}] stores an entry addressed to {:?} (vehicle {v:?})",
+                        e.l1
+                    ));
+                }
+                if self.partition.l1_of(e.pos) != e.l1 {
+                    return Err(format!(
+                        "L1[{gi}] entry for {v:?} at ({:.1}, {:.1}) maps to {:?}",
+                        e.pos.x,
+                        e.pos.y,
+                        self.partition.l1_of(e.pos)
+                    ));
+                }
+                let truth = core.registry.pos(core.registry.node_of_vehicle(v));
+                let age = now.saturating_since(e.time).as_secs_f64();
+                let bound = max_speed * age + pos_slack;
+                let drift = e.pos.distance(truth);
+                if drift > bound {
+                    return Err(format!(
+                        "L1[{gi}] entry for {v:?} drifted {drift:.1} m from ground truth \
+                         (bound {bound:.1} m at age {age:.1} s)"
+                    ));
+                }
+            }
+        }
+        for (gi, table) in self.l2_tables.iter().enumerate() {
+            for (v, e) in table.iter() {
+                if e.time > now {
+                    return Err(format!("L2[{gi}] entry for {v:?} is from the future"));
+                }
+                if e.from.0 as usize >= self.partition.l1_count() {
+                    return Err(format!(
+                        "L2[{gi}] entry for {v:?} reports from unknown L1 {:?}",
+                        e.from
+                    ));
+                }
+            }
+        }
+        for (gi, table) in self.l3_tables.iter().enumerate() {
+            for (v, e) in table.iter() {
+                if e.time > now {
+                    return Err(format!("L3[{gi}] entry for {v:?} is from the future"));
+                }
+                if e.from.0 as usize >= self.partition.l2_count() {
+                    return Err(format!(
+                        "L3[{gi}] entry for {v:?} reports from unknown L2 {:?}",
+                        e.from
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Oracle self-test hook: displace one stored L1 position far off the map.
+    /// Deterministic despite HashMap iteration order: picks the smallest vehicle
+    /// id in the first non-empty table.
+    #[cfg(feature = "check")]
+    fn corrupt_location_tables(&mut self) {
+        for table in &mut self.l1_tables {
+            let Some(v) = table.iter().map(|(v, _)| v).min() else {
+                continue;
+            };
+            let mut e = *table.peek(v).expect("entry for the id just found");
+            e.pos = Point::new(e.pos.x + 50_000.0, e.pos.y + 50_000.0);
+            table.record(v, e);
+            return;
+        }
+    }
 }

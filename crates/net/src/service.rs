@@ -102,6 +102,29 @@ pub trait LocationService {
     fn diagnostics(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+
+    /// Invariant hook (`check` feature): audits the protocol's internal state —
+    /// chiefly location-table soundness against the registry's ground-truth
+    /// positions, where no stored position may drift more than
+    /// `max_speed · age + pos_slack` meters from the vehicle's current one.
+    /// Returns `Err(detail)` on the first violated invariant.
+    #[cfg(feature = "check")]
+    fn check_invariants(
+        &self,
+        core: &NetworkCore,
+        now: SimTime,
+        max_speed: f64,
+        pos_slack: f64,
+    ) -> Result<(), String> {
+        let _ = (core, now, max_speed, pos_slack);
+        Ok(())
+    }
+
+    /// Deliberately corrupts one location-table entry (`check` feature only):
+    /// the oracle self-test uses this to prove [`Self::check_invariants`]
+    /// actually catches unsound state. Default: no tables, nothing to corrupt.
+    #[cfg(feature = "check")]
+    fn corrupt_location_tables(&mut self) {}
 }
 
 /// Identifier of one launched query.

@@ -664,4 +664,72 @@ impl LocationService for RlsmpProtocol {
             ("data_delivered", self.data_delivered as f64),
         ]
     }
+
+    /// Location-table soundness (`check` feature): every cell-leader entry maps
+    /// back to the cell whose table holds it and stays within the staleness
+    /// bound of the vehicle's ground-truth position; LSC entries carry sane
+    /// timestamps and in-range cell ids.
+    #[cfg(feature = "check")]
+    fn check_invariants(
+        &self,
+        core: &NetworkCore,
+        now: SimTime,
+        max_speed: f64,
+        pos_slack: f64,
+    ) -> Result<(), String> {
+        for (ci, table) in self.cell_tables.iter().enumerate() {
+            for (&v, e) in table {
+                if e.time > now {
+                    return Err(format!("cell[{ci}] entry for {v:?} is from the future"));
+                }
+                if self.grid.cell_of(e.pos) != CellId(ci as u32) {
+                    return Err(format!(
+                        "cell[{ci}] entry for {v:?} at ({:.1}, {:.1}) maps to {:?}",
+                        e.pos.x,
+                        e.pos.y,
+                        self.grid.cell_of(e.pos)
+                    ));
+                }
+                let truth = core.registry.pos(core.registry.node_of_vehicle(v));
+                let age = now.saturating_since(e.time).as_secs_f64();
+                let bound = max_speed * age + pos_slack;
+                let drift = e.pos.distance(truth);
+                if drift > bound {
+                    return Err(format!(
+                        "cell[{ci}] entry for {v:?} drifted {drift:.1} m from ground truth \
+                         (bound {bound:.1} m at age {age:.1} s)"
+                    ));
+                }
+            }
+        }
+        for (li, table) in self.lsc_tables.iter().enumerate() {
+            for (&v, e) in table {
+                if e.time > now {
+                    return Err(format!("lsc[{li}] entry for {v:?} is from the future"));
+                }
+                if e.cell.0 as usize >= self.grid.cell_count() {
+                    return Err(format!(
+                        "lsc[{li}] entry for {v:?} points at unknown cell {:?}",
+                        e.cell
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Oracle self-test hook: displace one stored cell position far off the
+    /// map, picking the smallest vehicle id in the first non-empty table so the
+    /// corruption is deterministic despite HashMap iteration order.
+    #[cfg(feature = "check")]
+    fn corrupt_location_tables(&mut self) {
+        for table in &mut self.cell_tables {
+            let Some(&v) = table.keys().min() else {
+                continue;
+            };
+            let e = table.get_mut(&v).expect("entry for the id just found");
+            e.pos = Point::new(e.pos.x + 50_000.0, e.pos.y + 50_000.0);
+            return;
+        }
+    }
 }

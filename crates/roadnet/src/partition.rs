@@ -508,3 +508,87 @@ mod tests {
         assert!(counts.iter().all(|&c| c == 4));
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::generators::{generate_grid, GridMapSpec};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Map sizes whose 500 m L1 lattice has even dimensions at both levels, so
+    /// the 4:1 nesting is exact everywhere (the paper's own geometry).
+    const EVEN_SIZES: [f64; 2] = [2000.0, 4000.0];
+
+    fn partition_of(size: f64) -> Partition {
+        let net = generate_grid(&GridMapSpec::paper(size), &mut SmallRng::seed_from_u64(0));
+        Partition::build(&net, 500.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any interior point is claimed by exactly one L1 box — the one
+        /// `l1_of` names — under the half-open bbox semantics.
+        #[test]
+        fn every_sampled_point_maps_to_exactly_one_l1(
+            size_ix in 0usize..2,
+            // Strictly-interior fractions: /10_000 keeps the top edge out.
+            fx in 0u32..9_999,
+            fy in 0u32..9_999,
+        ) {
+            let p = partition_of(EVEN_SIZES[size_ix]);
+            let (nx, ny) = p.l1_dims();
+            let b0 = p.l1_bbox(L1Id(0));
+            let (w, h) = (nx as f64 * p.l1_size(), ny as f64 * p.l1_size());
+            let pt = Point::new(
+                b0.min_x + w * fx as f64 / 10_000.0,
+                b0.min_y + h * fy as f64 / 10_000.0,
+            );
+            let claimed = p.l1_of(pt);
+            let mut owners = 0u32;
+            for i in 0..p.l1_count() as u32 {
+                if p.l1_bbox(L1Id(i)).contains(pt) {
+                    owners += 1;
+                    prop_assert_eq!(L1Id(i), claimed, "bbox owner disagrees with l1_of");
+                }
+            }
+            prop_assert_eq!(owners, 1, "point ({}, {}) has {} owners", pt.x, pt.y, owners);
+        }
+
+        /// On even-dimension maps, the hierarchy is exactly 4:1 at each level
+        /// and every child box nests geometrically inside its parent's.
+        #[test]
+        fn nesting_is_exactly_four_to_one(size_ix in 0usize..2) {
+            let p = partition_of(EVEN_SIZES[size_ix]);
+            let mut l1_per_l2 = vec![0u32; p.l2_count()];
+            for i in 0..p.l1_count() as u32 {
+                let l1 = L1Id(i);
+                let l2 = p.l1_to_l2(l1);
+                l1_per_l2[l2.0 as usize] += 1;
+                let (c, b) = (p.l1_bbox(l1), p.l2_bbox(l2));
+                prop_assert!(
+                    c.min_x >= b.min_x && c.min_y >= b.min_y
+                        && c.max_x <= b.max_x && c.max_y <= b.max_y,
+                    "L1 {:?} escapes its L2 parent", l1
+                );
+            }
+            prop_assert!(l1_per_l2.iter().all(|&n| n == 4), "L1-per-L2 counts: {:?}", l1_per_l2);
+
+            let mut l2_per_l3 = vec![0u32; p.l3_count()];
+            for i in 0..p.l2_count() as u32 {
+                let l2 = L2Id(i);
+                let l3 = p.l2_to_l3(l2);
+                l2_per_l3[l3.0 as usize] += 1;
+                let (c, b) = (p.l2_bbox(l2), p.l3_bbox(l3));
+                prop_assert!(
+                    c.min_x >= b.min_x && c.min_y >= b.min_y
+                        && c.max_x <= b.max_x && c.max_y <= b.max_y,
+                    "L2 {:?} escapes its L3 parent", l2
+                );
+            }
+            prop_assert!(l2_per_l3.iter().all(|&n| n == 4), "L2-per-L3 counts: {:?}", l2_per_l3);
+        }
+    }
+}

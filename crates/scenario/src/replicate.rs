@@ -11,13 +11,27 @@ use crate::runner::run_simulation;
 use std::sync::Mutex;
 
 /// Runs `cfg` under `protocol` for seeds `0..replications`, in parallel, returning
-/// the per-seed reports in seed order.
+/// the per-seed reports in seed order. Uses one worker per available core.
 pub fn replicate(cfg: &SimConfig, protocol: Protocol, replications: usize) -> Vec<RunReport> {
-    assert!(replications > 0, "need at least one replication");
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; replications]);
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    replicate_with_threads(cfg, protocol, replications, threads)
+}
+
+/// [`replicate`] with an explicit worker-thread count. Reports are a pure
+/// function of `(cfg, protocol, replications)` — the thread count only changes
+/// wall-clock time, never results, which the test suite pins down by comparing
+/// 1-thread and N-thread runs field by field.
+pub fn replicate_with_threads(
+    cfg: &SimConfig,
+    protocol: Protocol,
+    replications: usize,
+    threads: usize,
+) -> Vec<RunReport> {
+    assert!(replications > 0, "need at least one replication");
+    assert!(threads > 0, "need at least one worker thread");
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; replications]);
     let chunk = replications.div_ceil(threads);
     std::thread::scope(|s| {
         for chunk_start in (0..replications).step_by(chunk.max(1)) {
@@ -55,6 +69,80 @@ pub fn replicate_averaged(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Field-by-field identity, with float fields compared bit-for-bit.
+    fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.vehicles, b.vehicles);
+        assert_eq!(a.map_size.to_bits(), b.map_size.to_bits());
+        assert_eq!(a.update_packets, b.update_packets);
+        assert_eq!(a.update_radio_tx, b.update_radio_tx);
+        assert_eq!(a.collection_radio_tx, b.collection_radio_tx);
+        assert_eq!(a.collection_wired_tx, b.collection_wired_tx);
+        assert_eq!(a.query_radio_tx, b.query_radio_tx);
+        assert_eq!(a.query_wired_tx, b.query_wired_tx);
+        assert_eq!(a.queries_launched, b.queries_launched);
+        assert_eq!(a.queries_succeeded, b.queries_succeeded);
+        assert_eq!(a.data_sent, b.data_sent);
+        assert_eq!(a.data_delivered, b.data_delivered);
+        assert_eq!(a.success_rate.to_bits(), b.success_rate.to_bits());
+        assert_eq!(a.latency.count(), b.latency.count());
+        assert_eq!(
+            a.latency.mean().map(f64::to_bits),
+            b.latency.mean().map(f64::to_bits)
+        );
+        assert_eq!(
+            a.latency_p95.map(f64::to_bits),
+            b.latency_p95.map(f64::to_bits)
+        );
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.drop_breakdown, b.drop_breakdown);
+        assert_eq!(a.drop_matrix, b.drop_matrix);
+        assert_eq!(a.airtime_us, b.airtime_us);
+        assert_eq!(a.artery_share.to_bits(), b.artery_share.to_bits());
+        assert_eq!(a.diagnostics.len(), b.diagnostics.len());
+        for ((ka, va), (kb, vb)) in a.diagnostics.iter().zip(&b.diagnostics) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "diagnostic {ka} diverged");
+        }
+        assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    #[test]
+    fn thread_count_override_is_bit_identical() {
+        let mut cfg = SimConfig::quick_demo(13);
+        cfg.vehicles = 40;
+        let serial = replicate_with_threads(&cfg, Protocol::Hlsrg, 3, 1);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let parallel = replicate_with_threads(&cfg, Protocol::Hlsrg, 3, avail);
+        let default = replicate(&cfg, Protocol::Hlsrg, 3);
+        assert_eq!(serial.len(), 3);
+        for ((s, p), d) in serial.iter().zip(&parallel).zip(&default) {
+            assert_reports_identical(s, p);
+            assert_reports_identical(s, d);
+        }
+    }
+
+    #[test]
+    fn seeds_near_u64_max_wrap_without_panicking() {
+        let mut cfg = SimConfig::quick_demo(0);
+        cfg.vehicles = 30;
+        cfg.seed = u64::MAX - 1;
+        // Replication seeds are MAX-1, MAX, 0, 1: the wrapping_add path.
+        let runs = replicate_with_threads(&cfg, Protocol::Hlsrg, 4, 2);
+        let seeds: Vec<u64> = runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        // Distinct seeds mean distinct randomness: the reports cannot all agree.
+        assert!(
+            runs.windows(2)
+                .any(|w| w[0].update_packets != w[1].update_packets
+                    || w[0].query_radio_tx != w[1].query_radio_tx),
+            "4 distinct seeds produced identical traffic"
+        );
+    }
 
     #[test]
     fn parallel_replication_is_deterministic_and_ordered() {

@@ -24,6 +24,70 @@ use vanet_net::{
 use vanet_roadnet::{generate_grid, Partition, RoadNetwork};
 use vanet_trace::{Phase, Tracer, DEFAULT_RING_CAPACITY};
 
+#[cfg(feature = "check")]
+pub use vanet_check::Violation;
+
+/// Options for a checked run (`check` feature): the location-table staleness
+/// slack, the deliberate-corruption self-test, and the reconciliation tracer.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone)]
+pub struct CheckSetup {
+    /// Extra slack (m) on the location-table ground-truth bound
+    /// (`max_speed · age + pos_slack`), absorbing tick discretization.
+    pub pos_slack: f64,
+    /// When set, one protocol table entry is deliberately displaced at this
+    /// time — the oracle self-test proving table corruption is detected.
+    pub corrupt_at: Option<SimTime>,
+    /// Ring capacity for a tracer riding along purely for trace/counter
+    /// reconciliation (`None` disables that invariant).
+    pub trace_ring: Option<usize>,
+}
+
+#[cfg(feature = "check")]
+impl Default for CheckSetup {
+    fn default() -> Self {
+        CheckSetup {
+            pos_slack: 15.0,
+            corrupt_at: None,
+            trace_ring: Some(1 << 18),
+        }
+    }
+}
+
+/// What the public entry points thread into the impl: the setup plus an
+/// out-slot for the first violation. With the feature off this is `()`, so
+/// every call site can pass `Default::default()` and compile either way.
+#[cfg(feature = "check")]
+type CheckArg<'a> = Option<(&'a CheckSetup, &'a mut Option<Violation>)>;
+#[cfg(not(feature = "check"))]
+type CheckArg<'a> = ();
+
+/// Live oracle state carried through `drive`.
+#[cfg(feature = "check")]
+struct CheckState<'a> {
+    setup: &'a CheckSetup,
+    oracle: vanet_check::Oracle,
+    out: &'a mut Option<Violation>,
+    corrupted: bool,
+}
+
+#[cfg(feature = "check")]
+type CheckStateArg<'a> = Option<CheckState<'a>>;
+#[cfg(not(feature = "check"))]
+type CheckStateArg<'a> = ();
+
+/// Ledger hook: counts the `Deliver` effects about to be scheduled.
+#[cfg(feature = "check")]
+fn note_fx<P, T>(check: &mut CheckStateArg<'_>, fx: &[Effect<P, T>]) {
+    if let Some(cs) = check.as_mut() {
+        for f in fx {
+            if let Effect::Deliver(e) = f {
+                cs.oracle.note_emission(e);
+            }
+        }
+    }
+}
+
 /// Master event type of a run.
 enum Ev<P, T> {
     /// Advance the mobility model one tick.
@@ -86,25 +150,45 @@ impl MobilitySource {
 }
 
 /// Runs one simulation of `cfg` under the chosen protocol.
+// `CheckArg` is `()` without the `check` feature, hence the unit-arg allow.
+#[allow(clippy::unit_arg)]
 pub fn run_simulation(cfg: &SimConfig, protocol: Protocol) -> RunReport {
-    run_simulation_impl(cfg, protocol, None).0
+    run_simulation_impl(cfg, protocol, None, Default::default()).0
 }
 
 /// Runs one simulation with a structured event trace attached, returning the
 /// report plus the tracer holding the event ring and derived metrics registry.
+#[allow(clippy::unit_arg)]
 pub fn run_simulation_traced(cfg: &SimConfig, protocol: Protocol) -> (RunReport, Tracer) {
     let tracer = Box::new(Tracer::new(DEFAULT_RING_CAPACITY));
-    let (report, tracer) = run_simulation_impl(cfg, protocol, Some(tracer));
+    let (report, tracer) = run_simulation_impl(cfg, protocol, Some(tracer), Default::default());
     (
         report,
         *tracer.expect("tracer installed before the run survives it"),
     )
 }
 
+/// Runs one simulation with the invariant oracle armed (`check` feature),
+/// returning the report plus the first violated invariant, if any. A violated
+/// run still completes — the violation is surfaced, not panicked, so the
+/// fuzzer can shrink the configuration that caused it.
+#[cfg(feature = "check")]
+pub fn run_simulation_checked(
+    cfg: &SimConfig,
+    protocol: Protocol,
+    setup: &CheckSetup,
+) -> (RunReport, Option<Violation>) {
+    let tracer = setup.trace_ring.map(|cap| Box::new(Tracer::new(cap)));
+    let mut violation = None;
+    let (report, _) = run_simulation_impl(cfg, protocol, tracer, Some((setup, &mut violation)));
+    (report, violation)
+}
+
 fn run_simulation_impl(
     cfg: &SimConfig,
     protocol: Protocol,
     tracer: Option<Box<Tracer>>,
+    check: CheckArg<'_>,
 ) -> (RunReport, Option<Box<Tracer>>) {
     let mut map_rng = stream_rng(cfg.seed, StreamId::MapGen);
     let net = match &cfg.map_text {
@@ -172,6 +256,30 @@ fn run_simulation_impl(
         core.set_tracer(t);
     }
 
+    // Static partition geometry is checked once, before any event fires; the
+    // RSU registration cross-check only applies when RSUs exist as nodes.
+    #[cfg(feature = "check")]
+    let check: CheckStateArg<'_> = check.map(|(setup, out)| {
+        let mut oracle = vanet_check::Oracle::new();
+        let rsu_positions: Option<Vec<vanet_geo::Point>> = match protocol {
+            Protocol::Hlsrg => Some(
+                core.registry
+                    .rsu_nodes()
+                    .iter()
+                    .map(|&n| core.registry.pos(n))
+                    .collect(),
+            ),
+            Protocol::Rlsmp => None,
+        };
+        oracle.check_partition(&partition, rsu_positions.as_deref());
+        CheckState {
+            setup,
+            oracle,
+            out,
+            corrupted: false,
+        }
+    });
+
     match protocol {
         Protocol::Hlsrg => {
             let proto = HlsrgProtocol::new(
@@ -181,7 +289,9 @@ fn run_simulation_impl(
                 stream_rng(cfg.seed, StreamId::Protocol),
             );
             let deadline = cfg.hlsrg.query_deadline;
-            drive(cfg, protocol, net, lights, model, core, proto, deadline)
+            drive(
+                cfg, protocol, net, lights, model, core, proto, deadline, check,
+            )
         }
         Protocol::Rlsmp => {
             let proto = RlsmpProtocol::new(
@@ -190,7 +300,9 @@ fn run_simulation_impl(
                 stream_rng(cfg.seed, StreamId::Protocol),
             );
             let deadline = cfg.rlsmp.query_deadline;
-            drive(cfg, protocol, net, lights, model, core, proto, deadline)
+            drive(
+                cfg, protocol, net, lights, model, core, proto, deadline, check,
+            )
         }
     }
 }
@@ -243,7 +355,12 @@ fn drive<L: LocationService>(
     mut core: NetworkCore,
     mut proto: L,
     deadline: SimDuration,
+    check: CheckStateArg<'_>,
 ) -> (RunReport, Option<Box<Tracer>>) {
+    #[cfg(feature = "check")]
+    let mut check = check;
+    #[cfg(not(feature = "check"))]
+    let () = check;
     let mut queue: EventQueue<Ev<L::Payload, L::Timer>> = EventQueue::with_capacity(4096);
     let mut mob_rng = stream_rng(cfg.seed, StreamId::Mobility);
     let mut query_rng = stream_rng(cfg.seed, StreamId::Queries);
@@ -269,9 +386,14 @@ fn drive<L: LocationService>(
     }
     let mut timeline: Vec<TimelinePoint> = Vec::new();
     // Protocol start-of-world timers, then initial registration of every vehicle.
-    apply(&mut queue, proto.on_start(&mut core));
+    let fx = proto.on_start(&mut core);
+    #[cfg(feature = "check")]
+    note_fx(&mut check, &fx);
+    apply(&mut queue, fx);
     let joins = model.snapshot(&net);
     let fx = proto.on_join(&mut core, &joins, SimTime::ZERO);
+    #[cfg(feature = "check")]
+    note_fx(&mut check, &fx);
     apply(&mut queue, fx);
 
     // The explicit event loop (same stopping rule as `vanet_des::run_until`:
@@ -297,25 +419,68 @@ fn drive<L: LocationService>(
                     core.registry.set_pos(node, s.new_pos);
                 }
                 let fx = proto.on_move(&mut core, samples, now);
+                #[cfg(feature = "check")]
+                note_fx(&mut check, &fx);
                 apply(&mut queue, fx);
+                // Per-tick protocol audit: location-table soundness against the
+                // registry's ground truth (plus the deliberate-corruption
+                // self-test when armed).
+                #[cfg(feature = "check")]
+                if let Some(cs) = check.as_mut() {
+                    if let Some(at) = cs.setup.corrupt_at {
+                        if !cs.corrupted && now >= at {
+                            cs.corrupted = true;
+                            proto.corrupt_location_tables();
+                        }
+                    }
+                    if let Err(detail) = proto.check_invariants(
+                        &core,
+                        now,
+                        cfg.mobility.max_speed,
+                        cs.setup.pos_slack,
+                    ) {
+                        cs.oracle.report("table-soundness", detail);
+                    }
+                }
             }
             Ev::Deliver(to, transport) => {
+                #[cfg(feature = "check")]
+                let pending = check
+                    .as_mut()
+                    .map(|cs| cs.oracle.pre_deliver(&transport, &core.counters));
                 // `handle_deliver` times itself under `Phase::RadioDelivery`.
                 let (arrived, more) = core.handle_deliver(to, transport);
+                // `post_deliver` ledgers the followup emissions itself.
+                #[cfg(feature = "check")]
+                if let Some(cs) = check.as_mut() {
+                    cs.oracle.post_deliver(
+                        &core,
+                        to,
+                        pending.expect("pre_deliver snapshot exists"),
+                        arrived.is_some(),
+                        &more,
+                    );
+                }
                 for e in more {
                     queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport));
                 }
                 if let Some((class, payload)) = arrived {
                     let fx = proto.on_packet(&mut core, to, class, payload, now);
+                    #[cfg(feature = "check")]
+                    note_fx(&mut check, &fx);
                     apply(&mut queue, fx);
                 }
             }
             Ev::Timer(key) => {
                 let fx = proto.on_timer(&mut core, key, now);
+                #[cfg(feature = "check")]
+                note_fx(&mut check, &fx);
                 apply(&mut queue, fx);
             }
             Ev::Query(src, dst) => {
                 let fx = proto.launch_query(&mut core, src, dst, now);
+                #[cfg(feature = "check")]
+                note_fx(&mut check, &fx);
                 apply(&mut queue, fx);
             }
             Ev::Sample => {
@@ -336,6 +501,21 @@ fn drive<L: LocationService>(
                 });
             }
         }
+    }
+
+    // End of run: packet conservation over the drained queue, then
+    // trace/counter reconciliation if a complete trace rode along.
+    #[cfg(feature = "check")]
+    if let Some(mut cs) = check.take() {
+        let mut leftover = [0u64; 4];
+        while let Some((_, ev)) = queue.pop() {
+            if let Ev::Deliver(_, transport) = ev {
+                leftover[vanet_check::class_ix(&transport)] += 1;
+            }
+        }
+        cs.oracle.end_of_run(leftover);
+        cs.oracle.check_counter_reconciliation(&core);
+        *cs.out = cs.oracle.into_violation();
     }
 
     let mut report = RunReport::from_counters(
@@ -459,6 +639,42 @@ mod tests {
             assert_eq!(plain.update_packets, report.update_packets);
             assert_eq!(plain.query_radio_tx, report.query_radio_tx);
             assert_eq!(plain.queries_succeeded, report.queries_succeeded);
+        }
+    }
+
+    /// Armed oracle on a healthy scenario: no violation, and the oracle must
+    /// not perturb the simulation (identical counters to a plain run).
+    #[cfg(feature = "check")]
+    #[test]
+    fn checked_run_is_clean_and_matches_plain_counters() {
+        for protocol in [Protocol::Hlsrg, Protocol::Rlsmp] {
+            let cfg = SimConfig::quick_demo(7);
+            let (report, violation) =
+                run_simulation_checked(&cfg, protocol, &CheckSetup::default());
+            assert!(violation.is_none(), "oracle flagged: {violation:?}");
+            let plain = run_simulation(&cfg, protocol);
+            assert_eq!(plain.update_packets, report.update_packets);
+            assert_eq!(plain.update_radio_tx, report.update_radio_tx);
+            assert_eq!(plain.query_radio_tx, report.query_radio_tx);
+            assert_eq!(plain.queries_succeeded, report.queries_succeeded);
+            assert_eq!(plain.drops, report.drops);
+        }
+    }
+
+    /// The corruption hook flips exactly the invariant it is supposed to flip,
+    /// at the runner seam (the full fuzzer-side demo lives in `fuzz::tests`).
+    #[cfg(feature = "check")]
+    #[test]
+    fn corruption_hook_trips_table_soundness() {
+        for protocol in [Protocol::Hlsrg, Protocol::Rlsmp] {
+            let cfg = SimConfig::quick_demo(7);
+            let setup = CheckSetup {
+                corrupt_at: Some(SimTime::ZERO + cfg.warmup),
+                ..CheckSetup::default()
+            };
+            let (_, violation) = run_simulation_checked(&cfg, protocol, &setup);
+            let v = violation.expect("corruption went undetected");
+            assert_eq!(v.invariant, "table-soundness", "{}", v.detail);
         }
     }
 

@@ -44,3 +44,7 @@ pub use hlsrg as protocol;
 pub use rlsmp as baseline;
 pub use vanet_scenario as scenario;
 pub use vanet_trace as trace;
+
+/// Runtime invariant oracle + fuzz-case model (only with the `check` feature).
+#[cfg(feature = "check")]
+pub use vanet_check as check;

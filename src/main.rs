@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "map" => cmd_map(&flags),
         "trace" => cmd_trace(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -75,6 +76,10 @@ commands:
            interchange format)
   inspect  summarize a JSONL trace   FILE  --top N (busiest nodes / drop causes)
            from `run --trace-out`    --query ID (one query's timeline)
+  fuzz     seeded scenario fuzzing   --runs N  --seed S  --out FILE (corpus)
+           with the invariant        --replay FILE (re-run a corpus)
+           oracle armed (needs the   --corrupt (arm the table-corruption
+           `check` cargo feature)    self-test mutation)
   help     this message"
     );
 }
@@ -89,7 +94,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "csv" | "paper") {
+        if matches!(name, "csv" | "paper" | "corrupt") {
             flags.insert(name.into(), "true".into());
             continue;
         }
@@ -425,6 +430,90 @@ fn cmd_trace(flags: &Flags) -> ExitCode {
         None => print!("{text}"),
     }
     ExitCode::SUCCESS
+}
+
+/// `fuzz` — seeded scenario fuzzing with the invariant oracle armed.
+///
+/// Each case is a random-but-reproducible scenario config drawn from
+/// `--seed`; failures are shrunk to minimal reproducers and written (with
+/// the original case) to a `--out` JSONL corpus that `--replay` re-runs.
+#[cfg(feature = "check")]
+fn cmd_fuzz(flags: &Flags) -> ExitCode {
+    use hlsrg_suite::scenario::fuzz::{corpus_of, fuzz_campaign, replay};
+
+    if let Some(path) = flags.get("replay") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let results = replay(&text);
+        if results.is_empty() {
+            eprintln!("error: no fuzz cases in {path}");
+            return ExitCode::FAILURE;
+        }
+        let mut failed = 0u64;
+        for (case, outcome) in &results {
+            match outcome {
+                Some((invariant, detail)) => {
+                    failed += 1;
+                    println!("FAIL {invariant}: {detail}\n  {}", case.to_jsonl());
+                }
+                None => println!("ok   {}", case.to_jsonl()),
+            }
+        }
+        println!("replayed {} cases, {failed} failing", results.len());
+        return if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let runs = get(flags, "runs", 50u64);
+    let seed = get(flags, "seed", 0u64);
+    let corrupt = flags.contains_key("corrupt");
+    let failures = fuzz_campaign(seed, runs, corrupt, |ix, case, failed| {
+        if failed {
+            eprintln!("case {ix} FAILED: {}", case.to_jsonl());
+        }
+    });
+    println!(
+        "fuzz: {runs} runs from seed {seed}{}, {} failing",
+        if corrupt { " (corruption armed)" } else { "" },
+        failures.len()
+    );
+    for f in &failures {
+        println!("  case {}: {}: {}", f.ix, f.invariant, f.detail);
+        println!("    shrunk: {}", f.shrunk.to_jsonl());
+    }
+    if let Some(path) = flags.get("out") {
+        if failures.is_empty() {
+            eprintln!("no failures; nothing written to {path}");
+        } else if let Err(e) = std::fs::write(path, corpus_of(&failures)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            eprintln!("wrote corpus of {} failures to {path}", failures.len());
+        }
+    }
+    // The corruption self-test is *supposed* to fail; everything else is not.
+    if failures.is_empty() == corrupt {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(not(feature = "check"))]
+fn cmd_fuzz(_flags: &Flags) -> ExitCode {
+    eprintln!(
+        "error: `fuzz` needs the invariant oracle, which is compiled out by default.\n\
+         Rebuild with:  cargo build --release --features check"
+    );
+    ExitCode::FAILURE
 }
 
 fn cmd_map(flags: &Flags) -> ExitCode {
