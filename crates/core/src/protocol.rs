@@ -113,6 +113,26 @@ impl HlsrgProtocol {
         &self.cfg
     }
 
+    /// Pre-sizes every location table for a fleet of `n` vehicles. Entries
+    /// spread across the tables of each level, so each table reserves a
+    /// per-region share (with slack for uneven density) rather than the full
+    /// fleet.
+    pub fn reserve_vehicles(&mut self, n: usize) {
+        let share = |tables: usize| 2 * n.div_ceil(tables.max(1)) + 8;
+        let l1 = share(self.l1_tables.len());
+        for t in &mut self.l1_tables {
+            t.reserve(l1);
+        }
+        let l2 = share(self.l2_tables.len());
+        for t in &mut self.l2_tables {
+            t.reserve(l2);
+        }
+        let l3 = share(self.l3_tables.len());
+        for t in &mut self.l3_tables {
+            t.reserve(l3);
+        }
+    }
+
     /// Update counts per reason, in [`UpdateReason`] declaration order.
     pub fn reason_counts(&self) -> [u64; 4] {
         self.reason_counts

@@ -9,8 +9,8 @@
 //! * **L3** (RSU): vehicle id, update time, and *which L2 RSU* reported it.
 //!   Expire after 4.4 min.
 
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use vanet_des::{SimDuration, SimTime};
 use vanet_geo::{Heading, Point};
 use vanet_mobility::VehicleId;
@@ -47,7 +47,7 @@ pub struct UpEntry<G> {
 /// A TTL-pruned location table keyed by vehicle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocationTable<E> {
-    entries: HashMap<VehicleId, E>,
+    entries: FxHashMap<VehicleId, E>,
     ttl: SimDuration,
 }
 
@@ -72,10 +72,21 @@ impl<G> Timestamped for UpEntry<G> {
 impl<E: Timestamped + Clone> LocationTable<E> {
     /// Creates an empty table whose entries live for `ttl`.
     pub fn new(ttl: SimDuration) -> Self {
+        Self::with_capacity(ttl, 0)
+    }
+
+    /// [`new`](Self::new) pre-sized for `vehicles` entries, so a table that
+    /// eventually tracks the whole fleet never rehashes while filling.
+    pub fn with_capacity(ttl: SimDuration, vehicles: usize) -> Self {
         LocationTable {
-            entries: HashMap::new(),
+            entries: fxhash::map_with_capacity(vehicles),
             ttl,
         }
+    }
+
+    /// Reserves room for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
     }
 
     /// Inserts or refreshes an entry; an older update never overwrites a newer one.

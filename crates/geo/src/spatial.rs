@@ -3,9 +3,21 @@
 //! The radio layer asks "which nodes are within 500 m of here?" for every
 //! transmission. A bucket grid with cell size equal to the query radius answers that
 //! by scanning at most a 3×3 block of buckets — O(1) amortized for uniform traffic.
+//!
+//! Hot-path design notes:
+//!
+//! * buckets store `(id, position)` pairs, so a range query touches no other
+//!   table — the per-candidate `positions` lookup a plain id bucket would need
+//!   was the query's dominant cost;
+//! * [`SpatialHash::for_each_within`] and [`SpatialHash::query_radius_into`]
+//!   visit candidates with zero allocation — the scratch-buffer form is what
+//!   the per-transmission paths use in steady state;
+//! * all maps hash with the vendored deterministic [`fxhash`] (seedless, so
+//!   runs stay reproducible; several times cheaper than SipHash on the small
+//!   integer keys used here).
 
 use crate::point::Point;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// A spatial hash mapping integer keys (node ids) to positions.
 ///
@@ -13,8 +25,8 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialHash {
     cell: f64,
-    buckets: HashMap<(i64, i64), Vec<u64>>,
-    positions: HashMap<u64, Point>,
+    buckets: FxHashMap<(i64, i64), Vec<(u64, Point)>>,
+    positions: FxHashMap<u64, Point>,
 }
 
 impl SpatialHash {
@@ -24,14 +36,24 @@ impl SpatialHash {
     ///
     /// Panics if `cell_size` is not strictly positive and finite.
     pub fn new(cell_size: f64) -> Self {
+        Self::with_capacity(cell_size, 0)
+    }
+
+    /// [`new`](Self::new) pre-sized for `ids` tracked entries, so steady-state
+    /// insertion never rehashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn with_capacity(cell_size: f64, ids: usize) -> Self {
         assert!(
             cell_size > 0.0 && cell_size.is_finite(),
             "invalid cell size"
         );
         SpatialHash {
             cell: cell_size,
-            buckets: HashMap::new(),
-            positions: HashMap::new(),
+            buckets: fxhash::map_with_capacity(ids),
+            positions: fxhash::map_with_capacity(ids),
         }
     }
 
@@ -52,6 +74,12 @@ impl SpatialHash {
         self.positions.is_empty()
     }
 
+    /// Number of live (non-empty) buckets; bounded by `len()` because empty
+    /// buckets are dropped on removal.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Current position of `id`, if tracked.
     pub fn position(&self, id: u64) -> Option<Point> {
         self.positions.get(&id).copied()
@@ -63,11 +91,21 @@ impl SpatialHash {
         if let Some(old) = self.positions.insert(id, p) {
             let old_key = self.key(old);
             if old_key == new_key {
+                // Same bucket: update the stored position in place.
+                let bucket = self
+                    .buckets
+                    .get_mut(&new_key)
+                    .expect("tracked id has a bucket");
+                let slot = bucket
+                    .iter_mut()
+                    .find(|(i, _)| *i == id)
+                    .expect("tracked id is in its bucket");
+                slot.1 = p;
                 return;
             }
             remove_from_bucket(&mut self.buckets, old_key, id);
         }
-        self.buckets.entry(new_key).or_default().push(id);
+        self.buckets.entry(new_key).or_default().push((id, p));
     }
 
     /// Removes `id`; returns its last position if it was tracked.
@@ -78,34 +116,51 @@ impl SpatialHash {
         Some(p)
     }
 
+    /// Calls `f(id, position)` for every tracked id strictly within `radius` of
+    /// `center`, in unspecified order, allocating nothing. This is the primitive
+    /// under every other range query.
+    #[inline]
+    pub fn for_each_within(&self, center: Point, radius: f64, mut f: impl FnMut(u64, Point)) {
+        let r_cells = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = self.key(center);
+        let r_sq = radius * radius;
+        for bx in (cx - r_cells)..=(cx + r_cells) {
+            for by in (cy - r_cells)..=(cy + r_cells) {
+                if let Some(entries) = self.buckets.get(&(bx, by)) {
+                    for &(id, p) in entries {
+                        if center.distance_sq(p) < r_sq {
+                            f(id, p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes all ids strictly within `radius` of `center` into `out` (cleared
+    /// first), sorted by id. Reusing one buffer across calls makes the query
+    /// allocation-free in steady state.
+    pub fn query_radius_into(&self, center: Point, radius: f64, out: &mut Vec<u64>) {
+        out.clear();
+        self.for_each_within(center, radius, |id, _| out.push(id));
+        out.sort_unstable();
+    }
+
     /// All ids strictly within `radius` of `center` (excluding none — the caller
     /// filters out the querying node itself if needed). Order is deterministic:
-    /// sorted by id.
+    /// sorted by id. Allocating convenience form of
+    /// [`query_radius_into`](Self::query_radius_into).
     pub fn query_radius(&self, center: Point, radius: f64) -> Vec<u64> {
-        let mut out = self.query_radius_unsorted(center, radius);
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.query_radius_into(center, radius, &mut out);
         out
     }
 
     /// Like [`query_radius`](Self::query_radius) but without the deterministic sort —
     /// for callers that re-sort or fold commutatively.
     pub fn query_radius_unsorted(&self, center: Point, radius: f64) -> Vec<u64> {
-        let r_cells = (radius / self.cell).ceil() as i64;
-        let (cx, cy) = self.key(center);
-        let r_sq = radius * radius;
         let mut out = Vec::new();
-        for bx in (cx - r_cells)..=(cx + r_cells) {
-            for by in (cy - r_cells)..=(cy + r_cells) {
-                if let Some(ids) = self.buckets.get(&(bx, by)) {
-                    for &id in ids {
-                        let p = self.positions[&id];
-                        if center.distance_sq(p) < r_sq {
-                            out.push(id);
-                        }
-                    }
-                }
-            }
-        }
+        self.for_each_within(center, radius, |id, _| out.push(id));
         out
     }
 
@@ -126,9 +181,13 @@ impl SpatialHash {
     }
 }
 
-fn remove_from_bucket(buckets: &mut HashMap<(i64, i64), Vec<u64>>, key: (i64, i64), id: u64) {
+fn remove_from_bucket(
+    buckets: &mut FxHashMap<(i64, i64), Vec<(u64, Point)>>,
+    key: (i64, i64),
+    id: u64,
+) {
     if let Some(v) = buckets.get_mut(&key) {
-        if let Some(i) = v.iter().position(|&x| x == id) {
+        if let Some(i) = v.iter().position(|&(x, _)| x == id) {
             v.swap_remove(i);
         }
         if v.is_empty() {
@@ -172,6 +231,17 @@ mod tests {
     }
 
     #[test]
+    fn upsert_within_bucket_updates_stored_position() {
+        // Buckets carry (id, position) pairs; a small move inside one bucket
+        // must update the pair, not just the positions map.
+        let mut h = SpatialHash::new(100.0);
+        h.upsert(1, Point::new(10.0, 10.0));
+        h.upsert(1, Point::new(90.0, 90.0));
+        assert!(h.query_radius(Point::new(10.0, 10.0), 5.0).is_empty());
+        assert_eq!(h.query_radius(Point::new(90.0, 90.0), 5.0), vec![1]);
+    }
+
+    #[test]
     fn negative_coordinates_work() {
         let mut h = SpatialHash::new(50.0);
         h.upsert(1, Point::new(-120.0, -30.0));
@@ -194,5 +264,57 @@ mod tests {
             h.upsert(id, Point::new(id as f64, 0.0));
         }
         assert_eq!(h.query_radius(Point::ORIGIN, 100.0), vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn scratch_query_reuses_buffer_and_matches_owned() {
+        let mut h = SpatialHash::new(50.0);
+        for id in 0u64..40 {
+            h.upsert(
+                id,
+                Point::new((id * 7 % 100) as f64, (id * 13 % 100) as f64),
+            );
+        }
+        let mut scratch = Vec::new();
+        for probe in [Point::ORIGIN, Point::new(50.0, 50.0), Point::new(99.0, 0.0)] {
+            h.query_radius_into(probe, 60.0, &mut scratch);
+            assert_eq!(scratch, h.query_radius(probe, 60.0));
+        }
+        // A stale buffer from the previous query is fully replaced.
+        h.query_radius_into(Point::new(-1e6, -1e6), 1.0, &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn long_random_walk_keeps_bucket_count_bounded() {
+        // Empty buckets are dropped on removal, so however far vehicles roam,
+        // live buckets never exceed the number of tracked ids.
+        let mut h = SpatialHash::new(100.0);
+        let ids = 25u64;
+        // A deterministic LCG walk spanning thousands of distinct cells.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut step = |id: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 16) % 2_000_000) as f64 - 1_000_000.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = ((state >> 16) % 2_000_000) as f64 - 1_000_000.0;
+            (id, Point::new(x, y))
+        };
+        for round in 0..2000 {
+            for id in 0..ids {
+                let (id, p) = step(id);
+                h.upsert(id, p);
+            }
+            assert!(
+                h.bucket_count() <= ids as usize,
+                "round {round}: {} buckets for {ids} ids",
+                h.bucket_count()
+            );
+        }
+        assert_eq!(h.len(), ids as usize);
     }
 }

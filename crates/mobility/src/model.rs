@@ -13,9 +13,9 @@ use crate::lights::TrafficLights;
 use crate::route::{choose_next_road, spawn_vehicles, RouteConfig};
 use crate::trips::{TripConfig, TripPlan};
 use crate::vehicle::{MoveSample, TurnEvent, VehicleState};
+use fxhash::FxHashMap;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use vanet_des::{SimDuration, SimTime};
 use vanet_geo::classify_turn;
 use vanet_roadnet::{IntersectionId, RoadId, RoadNetwork};
@@ -62,6 +62,12 @@ pub struct MobilityModel {
     samples: Vec<MoveSample>,
     /// Per-vehicle trip plans (empty unless `cfg.trips` is set).
     plans: Vec<TripPlan>,
+    /// Scratch for the per-tick leader grouping: directed lane → (offset, index)
+    /// rows. Lane vectors are cleared, not dropped, so steady-state stepping
+    /// reuses their allocations.
+    lanes: FxHashMap<(RoadId, IntersectionId), Vec<(f64, usize)>>,
+    /// Scratch for per-vehicle leader caps, reused across ticks.
+    cap: Vec<f64>,
 }
 
 impl MobilityModel {
@@ -74,6 +80,8 @@ impl MobilityModel {
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
+            lanes: FxHashMap::default(),
+            cap: Vec::with_capacity(n),
         }
     }
 
@@ -86,6 +94,8 @@ impl MobilityModel {
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
+            lanes: FxHashMap::default(),
+            cap: Vec::with_capacity(n),
         }
     }
 
@@ -154,22 +164,27 @@ impl MobilityModel {
         rng: &mut SmallRng,
     ) -> &[MoveSample] {
         let dt = self.cfg.tick.as_secs_f64();
-        // Leader constraint uses everyone's *old* offset: stable and order-free.
-        let mut lanes: HashMap<(RoadId, IntersectionId), Vec<(f64, usize)>> = HashMap::new();
+        // Leader constraint uses everyone's *old* offset: stable and order-free
+        // (each vehicle sits in exactly one lane, so the `cap` writes below never
+        // collide and map iteration order cannot affect the result).
+        for lane in self.lanes.values_mut() {
+            lane.clear();
+        }
         for (i, v) in self.vehicles.iter().enumerate() {
-            lanes
+            self.lanes
                 .entry((v.road, v.from))
                 .or_default()
                 .push((v.offset, i));
         }
         // `cap[i]` = max offset vehicle i may reach this tick due to its leader.
-        let mut cap = vec![f64::INFINITY; self.vehicles.len()];
-        for lane in lanes.values_mut() {
+        self.cap.clear();
+        self.cap.resize(self.vehicles.len(), f64::INFINITY);
+        for lane in self.lanes.values_mut() {
             lane.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for w in lane.windows(2) {
                 let (leader_off, _) = w[0];
                 let (_, follower) = w[1];
-                cap[follower] = leader_off - self.cfg.min_gap;
+                self.cap[follower] = leader_off - self.cfg.min_gap;
             }
         }
 
@@ -186,8 +201,8 @@ impl MobilityModel {
             let target_speed = (v.speed + self.cfg.accel * dt).min(v.desired_speed);
             let mut advance = target_speed * dt;
             // Honor the leader gap (never move backward because of it).
-            if offset + advance > cap[i] {
-                advance = (cap[i] - offset).max(0.0);
+            if offset + advance > self.cap[i] {
+                advance = (self.cap[i] - offset).max(0.0);
             }
 
             let len = net.road(road).length;
@@ -280,6 +295,7 @@ mod tests {
     use crate::lights::LightConfig;
     use crate::vehicle::VehicleId;
     use rand::SeedableRng;
+    use std::collections::HashMap;
     use vanet_geo::{Cardinal, Point};
     use vanet_roadnet::{generate_grid, GridMapSpec, RoadClass};
 

@@ -13,8 +13,8 @@
 //! lets one queue type serve mobility ticks, protocol timers, and deliveries.
 
 use crate::counters::{NetCounters, PacketClass};
-use crate::flood::{directional_broadcast, region_broadcast};
-use crate::gpsr::{GpsrHeader, GpsrStep, GpsrTarget};
+use crate::flood::{directional_broadcast, region_broadcast, FloodScratch};
+use crate::gpsr::{GpsrHeader, GpsrScratch, GpsrStep, GpsrTarget};
 use crate::node::{NodeId, NodeRegistry};
 use crate::radio::RadioConfig;
 use crate::wired::WiredNetwork;
@@ -76,6 +76,13 @@ pub struct NetworkCore {
     /// `trace` cargo feature is on).
     pub timings: PhaseTimings,
     rng: SmallRng,
+    /// Reused neighbor-query buffer: the per-transmission lookup allocates
+    /// nothing once this has grown to the local density.
+    neighbor_scratch: Vec<NodeId>,
+    /// Reused GPSR routing-decision storage.
+    gpsr_scratch: GpsrScratch,
+    /// Reused flood working set (dedup maps, frontier, neighbor buffer).
+    flood_scratch: FloodScratch,
 }
 
 impl NetworkCore {
@@ -97,6 +104,9 @@ impl NetworkCore {
             tracer: None,
             timings: PhaseTimings::new(),
             rng,
+            neighbor_scratch: Vec::new(),
+            gpsr_scratch: GpsrScratch::default(),
+            flood_scratch: FloodScratch::default(),
         }
     }
 
@@ -156,10 +166,11 @@ impl NetworkCore {
         });
         let from_pos = self.registry.pos(from);
         let mut out = Vec::new();
-        for n in self
-            .registry
-            .nodes_within(from_pos, self.radio.range, Some(from))
-        {
+        // Take the scratch buffer so iterating it doesn't hold a borrow of self.
+        let mut neighbors = std::mem::take(&mut self.neighbor_scratch);
+        self.registry
+            .nodes_within_into(from_pos, self.radio.range, Some(from), &mut neighbors);
+        for &n in &neighbors {
             if self
                 .radio
                 .link_succeeds_between(from_pos, self.registry.pos(n), &mut self.rng)
@@ -175,6 +186,7 @@ impl NetworkCore {
                 });
             }
         }
+        self.neighbor_scratch = neighbors;
         out
     }
 
@@ -213,24 +225,27 @@ impl NetworkCore {
         payload: P,
     ) -> Vec<Emission<P>> {
         use crate::counters::DropKind;
-        use crate::gpsr::{gpsr_step_excluding, GpsrFailure};
+        use crate::gpsr::{gpsr_step_scratch, GpsrFailure};
 
         let mut dead_neighbors: Vec<NodeId> = Vec::new();
-        loop {
+        // Take the scratch so the timing closure borrows self only via fields.
+        let mut scratch = std::mem::take(&mut self.gpsr_scratch);
+        let result = loop {
             let step = self.timings.time(Phase::GpsrNextHop, || {
-                gpsr_step_excluding(
+                gpsr_step_scratch(
                     &self.registry,
                     self.radio.range,
                     at,
                     header,
                     &dead_neighbors,
+                    &mut scratch,
                 )
             });
             match step {
                 GpsrStep::Arrived => {
                     // Uniform path: deliver-to-self with zero delay so the harness's
                     // single delivery handler sees every arrival.
-                    return vec![Emission {
+                    break vec![Emission {
                         delay: SimDuration::ZERO,
                         to: at,
                         transport: Transport::Local { class, payload },
@@ -290,7 +305,7 @@ impl NetworkCore {
                                 class: class.index() as u8,
                                 cause: DropKind::Loss.index() as u8,
                             });
-                            return Vec::new();
+                            break Vec::new();
                         }
                         continue; // reroute around the dead link
                     }
@@ -298,7 +313,7 @@ impl NetworkCore {
                     for _ in 0..attempts {
                         delay += self.radio.hop_delay(size, &mut self.rng);
                     }
-                    return vec![Emission {
+                    break vec![Emission {
                         delay,
                         to: next,
                         transport: Transport::Gpsr {
@@ -322,10 +337,12 @@ impl NetworkCore {
                         class: class.index() as u8,
                         cause: kind.index() as u8,
                     });
-                    return Vec::new();
+                    break Vec::new();
                 }
             }
-        }
+        };
+        self.gpsr_scratch = scratch;
+        result
     }
 
     /// Wired RSU-to-RSU transfer over the backbone's shortest path.
@@ -401,6 +418,7 @@ impl NetworkCore {
             lateral_tol,
             size,
             &mut self.rng,
+            &mut self.flood_scratch,
         );
         self.counters.count_radio(class, res.transmissions);
         self.counters
@@ -446,6 +464,7 @@ impl NetworkCore {
             region,
             size,
             &mut self.rng,
+            &mut self.flood_scratch,
         );
         self.counters.count_radio(class, res.transmissions);
         self.counters

@@ -12,8 +12,8 @@
 
 use crate::node::{NodeId, NodeRegistry};
 use crate::radio::RadioConfig;
+use fxhash::FxHashMap;
 use rand::rngs::SmallRng;
-use std::collections::HashMap;
 use vanet_des::SimDuration;
 use vanet_geo::{BBox, Point, Vec2};
 
@@ -32,6 +32,23 @@ impl FloodResult {
     pub fn reached(&self, n: NodeId) -> bool {
         self.deliveries.iter().any(|&(m, _)| m == n)
     }
+}
+
+/// Reusable working storage for the flood primitives. Holding one of these
+/// across calls (as [`crate::NetworkCore`] does) makes a steady-state flood
+/// allocation-free except for the returned deliveries.
+#[derive(Debug, Default)]
+pub struct FloodScratch {
+    /// Neighbor-query buffer.
+    neighbors: Vec<NodeId>,
+    /// Directional flood: node -> (corridor progress, hop).
+    received: FxHashMap<NodeId, (f64, u32)>,
+    /// Directional flood: nodes that already relayed.
+    relayed: Vec<NodeId>,
+    /// Region flood: node -> hop count at first reception.
+    seen: FxHashMap<NodeId, u32>,
+    /// Region flood: pending relays.
+    frontier: Vec<(NodeId, u32)>,
 }
 
 /// Floods a packet along a road corridor.
@@ -53,6 +70,7 @@ pub fn directional_broadcast(
     lateral_tol: f64,
     size: usize,
     rng: &mut SmallRng,
+    scratch: &mut FloodScratch,
 ) -> FloodResult {
     let dir = dir.normalized().expect("direction must be non-zero");
     // Corridor membership: progress s within [-tol, max_dist], lateral within tol.
@@ -65,18 +83,21 @@ pub fn directional_broadcast(
 
     let mut result = FloodResult::default();
     // received: node -> (progress, hop). Origin is the hop-0 "relay".
-    let mut received: HashMap<NodeId, (f64, u32)> = HashMap::new();
+    let received = &mut scratch.received;
+    received.clear();
+    let relayed = &mut scratch.relayed;
+    relayed.clear();
     let mut relay = origin;
     let mut relay_s = 0.0f64;
     let mut relay_hop = 0u32;
-    let mut relayed: Vec<NodeId> = Vec::new();
 
     loop {
         // The relay transmits once.
         result.transmissions += 1;
         relayed.push(relay);
         let relay_pos = reg.pos(relay);
-        for n in reg.nodes_within(relay_pos, radio.range, Some(relay)) {
+        reg.nodes_within_into(relay_pos, radio.range, Some(relay), &mut scratch.neighbors);
+        for &n in &scratch.neighbors {
             if n == origin || received.contains_key(&n) {
                 continue;
             }
@@ -120,15 +141,20 @@ pub fn region_broadcast(
     region: &BBox,
     size: usize,
     rng: &mut SmallRng,
+    scratch: &mut FloodScratch,
 ) -> FloodResult {
     let mut result = FloodResult::default();
-    let mut frontier = vec![(origin, 0u32)];
-    let mut seen: HashMap<NodeId, u32> = HashMap::new();
+    let frontier = &mut scratch.frontier;
+    frontier.clear();
+    frontier.push((origin, 0u32));
+    let seen = &mut scratch.seen;
+    seen.clear();
     seen.insert(origin, 0);
     while let Some((relay, hop)) = frontier.pop() {
         result.transmissions += 1;
         let relay_pos = reg.pos(relay);
-        for n in reg.nodes_within(relay_pos, radio.range, Some(relay)) {
+        reg.nodes_within_into(relay_pos, radio.range, Some(relay), &mut scratch.neighbors);
+        for &n in &scratch.neighbors {
             if seen.contains_key(&n) || !region.contains(reg.pos(n)) {
                 continue;
             }
@@ -194,6 +220,7 @@ mod tests {
             50.0,
             100,
             &mut rng,
+            &mut FloodScratch::default(),
         );
         // Nodes at 200..1000 are within max_dist; the off-road node is excluded.
         let reached: Vec<u32> = res.deliveries.iter().map(|&(n, _)| n.0).collect();
@@ -223,6 +250,7 @@ mod tests {
             60.0,
             100,
             &mut rng,
+            &mut FloodScratch::default(),
         );
         assert!(res.reached(NodeId(3)));
         assert!(res.reached(NodeId(4)));
@@ -251,6 +279,7 @@ mod tests {
             50.0,
             100,
             &mut rng,
+            &mut FloodScratch::default(),
         );
         assert!(res.reached(NodeId(1)));
         assert!(!res.reached(NodeId(2)));
@@ -272,6 +301,7 @@ mod tests {
             50.0,
             100,
             &mut rng,
+            &mut FloodScratch::default(),
         );
         let d_near = res
             .deliveries
@@ -300,7 +330,15 @@ mod tests {
         let region = BBox::new(0.0, 0.0, 500.0, 500.0);
         let radio = lossless_radio();
         let mut rng = SmallRng::seed_from_u64(0);
-        let res = region_broadcast(&reg, &radio, NodeId(0), &region, 100, &mut rng);
+        let res = region_broadcast(
+            &reg,
+            &radio,
+            NodeId(0),
+            &region,
+            100,
+            &mut rng,
+            &mut FloodScratch::default(),
+        );
         for i in 1..=3u32 {
             assert!(res.reached(NodeId(i)), "node {i} missed");
         }
@@ -318,7 +356,15 @@ mod tests {
         let region = BBox::new(0.0, 0.0, 1000.0, 1000.0);
         let radio = lossless_radio();
         let mut rng = SmallRng::seed_from_u64(0);
-        let res = region_broadcast(&reg, &radio, NodeId(0), &region, 100, &mut rng);
+        let res = region_broadcast(
+            &reg,
+            &radio,
+            NodeId(0),
+            &region,
+            100,
+            &mut rng,
+            &mut FloodScratch::default(),
+        );
         assert!(res.deliveries.is_empty());
     }
 
@@ -336,7 +382,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut hits = 0;
         for _ in 0..200 {
-            let res = region_broadcast(&reg, &radio, NodeId(0), &region, 100, &mut rng);
+            let res = region_broadcast(
+                &reg,
+                &radio,
+                NodeId(0),
+                &region,
+                100,
+                &mut rng,
+                &mut FloodScratch::default(),
+            );
             if res.reached(NodeId(1)) {
                 hits += 1;
             }

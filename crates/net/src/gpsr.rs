@@ -105,6 +105,17 @@ pub enum GpsrFailure {
     NoProgress,
 }
 
+/// Reusable working storage for [`gpsr_step_scratch`]. Holding one across calls
+/// (as [`crate::NetworkCore`] does) makes a steady-state routing decision
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct GpsrScratch {
+    /// Filtered neighbor set.
+    neighbors: Vec<NodeId>,
+    /// Recovery mode's angular ranking.
+    ranked: Vec<(f64, NodeId)>,
+}
+
 /// Makes the routing decision for a packet currently held by `me`.
 ///
 /// `range` is the radio range used for neighbor discovery.
@@ -119,8 +130,22 @@ pub fn gpsr_step_excluding(
     reg: &NodeRegistry,
     range: f64,
     me: NodeId,
+    header: GpsrHeader,
+    exclude: &[NodeId],
+) -> GpsrStep {
+    gpsr_step_scratch(reg, range, me, header, exclude, &mut GpsrScratch::default())
+}
+
+/// [`gpsr_step_excluding`] with caller-provided working storage — the
+/// allocation-free form the per-packet hot path uses. Results are identical:
+/// the scratch buffers only replace this function's temporaries.
+pub fn gpsr_step_scratch(
+    reg: &NodeRegistry,
+    range: f64,
+    me: NodeId,
     mut header: GpsrHeader,
     exclude: &[NodeId],
+    scratch: &mut GpsrScratch,
 ) -> GpsrStep {
     let my_pos = reg.pos(me);
 
@@ -148,11 +173,9 @@ pub fn gpsr_step_excluding(
         return GpsrStep::Fail(GpsrFailure::TtlExpired);
     }
 
-    let neighbors: Vec<NodeId> = reg
-        .nodes_within(my_pos, range, Some(me))
-        .into_iter()
-        .filter(|n| !exclude.contains(n))
-        .collect();
+    reg.nodes_within_into(my_pos, range, Some(me), &mut scratch.neighbors);
+    scratch.neighbors.retain(|n| !exclude.contains(n));
+    let neighbors = &scratch.neighbors;
     if neighbors.is_empty() {
         return GpsrStep::Fail(GpsrFailure::Isolated);
     }
@@ -195,21 +218,24 @@ pub fn gpsr_step_excluding(
     let ref_angle = ref_vec.angle();
     // First neighbor counterclockwise from the reference edge, skipping the node we
     // came from (to avoid immediate ping-pong) unless it is the only neighbor.
-    let mut ranked: Vec<(f64, NodeId)> = neighbors
-        .iter()
-        .filter(|&&n| Some(n) != header.prev)
-        .map(|&n| {
-            let a = (reg.pos(n) - my_pos).angle();
-            let ccw = vanet_geo::normalize_angle(a - ref_angle);
-            // Map to (0, 2π] so "just past the reference" sorts first.
-            let key = if ccw <= 0.0 {
-                ccw + 2.0 * std::f64::consts::PI
-            } else {
-                ccw
-            };
-            (key, n)
-        })
-        .collect();
+    let ranked = &mut scratch.ranked;
+    ranked.clear();
+    ranked.extend(
+        neighbors
+            .iter()
+            .filter(|&&n| Some(n) != header.prev)
+            .map(|&n| {
+                let a = (reg.pos(n) - my_pos).angle();
+                let ccw = vanet_geo::normalize_angle(a - ref_angle);
+                // Map to (0, 2π] so "just past the reference" sorts first.
+                let key = if ccw <= 0.0 {
+                    ccw + 2.0 * std::f64::consts::PI
+                } else {
+                    ccw
+                };
+                (key, n)
+            }),
+    );
     ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     let next = match ranked.first() {
         Some(&(_, n)) => n,

@@ -26,8 +26,11 @@ pub mod wired;
 
 pub use crate::core::{Emission, NetworkCore, Transport};
 pub use counters::{DropKind, NetCounters, PacketClass};
-pub use flood::{directional_broadcast, region_broadcast, FloodResult};
-pub use gpsr::{gpsr_step, GpsrFailure, GpsrHeader, GpsrMode, GpsrStep, GpsrTarget};
+pub use flood::{directional_broadcast, region_broadcast, FloodResult, FloodScratch};
+pub use gpsr::{
+    gpsr_step, gpsr_step_scratch, GpsrFailure, GpsrHeader, GpsrMode, GpsrScratch, GpsrStep,
+    GpsrTarget,
+};
 pub use node::{NodeId, NodeKind, NodeRegistry};
 pub use radio::RadioConfig;
 pub use service::{deliveries, Effect, LocationService, QueryId, QueryLog, QueryRecord};
@@ -122,7 +125,15 @@ mod proptests {
             let region = vanet_geo::BBox::new(0.0, 0.0, 1500.0, 1500.0);
             let radio = RadioConfig { reliable_fraction: 1.0, edge_delivery: 1.0, ..Default::default() };
             let mut rng = SmallRng::seed_from_u64(0);
-            let res = region_broadcast(&reg, &radio, NodeId(0), &region, 64, &mut rng);
+            let res = region_broadcast(
+                &reg,
+                &radio,
+                NodeId(0),
+                &region,
+                64,
+                &mut rng,
+                &mut FloodScratch::default(),
+            );
 
             // Brute-force connected component over the unit-disk graph.
             let n = pts.len() + 1;

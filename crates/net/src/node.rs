@@ -35,6 +35,10 @@ pub enum NodeKind {
 pub struct NodeRegistry {
     kinds: Vec<NodeKind>,
     index: SpatialHash,
+    /// Dense per-node positions (ids are dense), so the per-packet `pos()`
+    /// lookup is an array index instead of a hash probe. The spatial index
+    /// holds the same positions for range queries.
+    positions: Vec<Point>,
     /// Reverse maps for protocol convenience.
     vehicle_nodes: Vec<NodeId>,
     rsu_nodes: Vec<NodeId>,
@@ -44,10 +48,17 @@ impl NodeRegistry {
     /// Creates a registry whose spatial index uses buckets of `cell_size` meters
     /// (use the radio range).
     pub fn new(cell_size: f64) -> Self {
+        Self::with_capacity(cell_size, 0)
+    }
+
+    /// [`new`](Self::new) pre-sized for `nodes` registrations (vehicles + RSUs
+    /// from the scenario config), so filling the registry never rehashes.
+    pub fn with_capacity(cell_size: f64, nodes: usize) -> Self {
         NodeRegistry {
-            kinds: Vec::new(),
-            index: SpatialHash::new(cell_size),
-            vehicle_nodes: Vec::new(),
+            kinds: Vec::with_capacity(nodes),
+            index: SpatialHash::with_capacity(cell_size, nodes),
+            positions: Vec::with_capacity(nodes),
+            vehicle_nodes: Vec::with_capacity(nodes),
             rsu_nodes: Vec::new(),
         }
     }
@@ -61,6 +72,7 @@ impl NodeRegistry {
         );
         let id = NodeId(self.kinds.len() as u32);
         self.kinds.push(NodeKind::Vehicle(v));
+        self.positions.push(pos);
         self.index.upsert(id.0 as u64, pos);
         self.vehicle_nodes.push(id);
         id
@@ -75,6 +87,7 @@ impl NodeRegistry {
         );
         let id = NodeId(self.kinds.len() as u32);
         self.kinds.push(NodeKind::Rsu(r));
+        self.positions.push(pos);
         self.index.upsert(id.0 as u64, pos);
         self.rsu_nodes.push(id);
         id
@@ -96,15 +109,15 @@ impl NodeRegistry {
     }
 
     /// Current position of a node.
+    #[inline]
     pub fn pos(&self, n: NodeId) -> Point {
-        self.index
-            .position(n.0 as u64)
-            .expect("registered node has a position")
+        self.positions[n.0 as usize]
     }
 
     /// Moves a node (vehicles each mobility tick).
     pub fn set_pos(&mut self, n: NodeId, pos: Point) {
         assert!((n.0 as usize) < self.kinds.len(), "unknown node");
+        self.positions[n.0 as usize] = pos;
         self.index.upsert(n.0 as u64, pos);
     }
 
@@ -129,14 +142,33 @@ impl NodeRegistry {
     }
 
     /// Nodes strictly within `radius` of `center`, sorted by id, *excluding* `except`
-    /// if provided.
+    /// if provided. One pass, one allocation; the scratch-buffer form is
+    /// [`nodes_within_into`](Self::nodes_within_into).
     pub fn nodes_within(&self, center: Point, radius: f64, except: Option<NodeId>) -> Vec<NodeId> {
-        self.index
-            .query_radius(center, radius)
-            .into_iter()
-            .map(|raw| NodeId(raw as u32))
-            .filter(|&n| Some(n) != except)
-            .collect()
+        let mut out = Vec::new();
+        self.nodes_within_into(center, radius, except, &mut out);
+        out
+    }
+
+    /// Writes the nodes strictly within `radius` of `center` into `out`
+    /// (cleared first), sorted by id, excluding `except` if provided. Reusing
+    /// one buffer across calls makes the per-transmission neighbor lookup
+    /// allocation-free in steady state.
+    pub fn nodes_within_into(
+        &self,
+        center: Point,
+        radius: f64,
+        except: Option<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.index.for_each_within(center, radius, |raw, _| {
+            let n = NodeId(raw as u32);
+            if Some(n) != except {
+                out.push(n);
+            }
+        });
+        out.sort_unstable();
     }
 
     /// The node nearest to `center` (ties by id), with its distance.
@@ -174,6 +206,24 @@ mod tests {
         assert_eq!(reg.pos(v), Point::new(400.0, 300.0));
         assert!(reg.nodes_within(Point::ORIGIN, 100.0, None).is_empty());
         assert_eq!(reg.nearest(Point::new(400.0, 301.0)), Some((v, 1.0)));
+    }
+
+    #[test]
+    fn scratch_query_matches_owned_and_reuses_buffer() {
+        let mut reg = NodeRegistry::with_capacity(500.0, 12);
+        for i in 0..10u32 {
+            reg.add_vehicle(VehicleId(i), Point::new(i as f64 * 60.0, 0.0));
+        }
+        reg.add_rsu(RsuId(0), Point::new(0.0, 100.0));
+        let mut scratch = Vec::new();
+        for probe in [Point::ORIGIN, Point::new(300.0, 0.0)] {
+            for except in [None, Some(NodeId(3))] {
+                reg.nodes_within_into(probe, 200.0, except, &mut scratch);
+                assert_eq!(scratch, reg.nodes_within(probe, 200.0, except));
+            }
+        }
+        reg.nodes_within_into(Point::new(1e7, 1e7), 10.0, None, &mut scratch);
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -13,9 +13,9 @@
 
 use crate::cells::{CellGrid, CellId, ClusterId};
 use crate::config::RlsmpConfig;
+use fxhash::FxHashMap;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use vanet_des::{SimDuration, SimTime};
 use vanet_geo::Point;
 use vanet_mobility::{MoveSample, VehicleId};
@@ -160,8 +160,8 @@ type Fx = Vec<Effect<RlsmpPayload, RlsmpTimer>>;
 pub struct RlsmpProtocol {
     cfg: RlsmpConfig,
     grid: CellGrid,
-    cell_tables: Vec<HashMap<VehicleId, CellEntry>>,
-    lsc_tables: Vec<HashMap<VehicleId, LscEntry>>,
+    cell_tables: Vec<FxHashMap<VehicleId, CellEntry>>,
+    lsc_tables: Vec<FxHashMap<VehicleId, LscEntry>>,
     log: QueryLog,
     #[allow(dead_code)] // reserved for contention modeling parity with HLSRG
     rng: SmallRng,
@@ -173,8 +173,8 @@ impl RlsmpProtocol {
     /// Builds the protocol over the map `area` covered by the mobility model.
     pub fn new(area: vanet_geo::BBox, cfg: RlsmpConfig, rng: SmallRng) -> Self {
         let grid = CellGrid::new(area, cfg.cell_size, cfg.cluster_dim);
-        let cell_tables = vec![HashMap::new(); grid.cell_count()];
-        let lsc_tables = vec![HashMap::new(); grid.cluster_count()];
+        let cell_tables = vec![FxHashMap::default(); grid.cell_count()];
+        let lsc_tables = vec![FxHashMap::default(); grid.cluster_count()];
         RlsmpProtocol {
             cfg,
             grid,
@@ -190,6 +190,20 @@ impl RlsmpProtocol {
     /// The cell grid in use.
     pub fn grid(&self) -> &CellGrid {
         &self.grid
+    }
+
+    /// Pre-sizes the cell and LSC tables for a fleet of `n` vehicles, each
+    /// table reserving a per-region share (with slack for uneven density).
+    pub fn reserve_vehicles(&mut self, n: usize) {
+        let share = |tables: usize| 2 * n.div_ceil(tables.max(1)) + 8;
+        let per_cell = share(self.cell_tables.len());
+        for t in &mut self.cell_tables {
+            t.reserve(per_cell);
+        }
+        let per_cluster = share(self.lsc_tables.len());
+        for t in &mut self.lsc_tables {
+            t.reserve(per_cluster);
+        }
     }
 
     /// Total cell-crossing updates sent.

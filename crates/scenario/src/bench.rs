@@ -1,0 +1,428 @@
+//! The `bench` harness: canonical scenarios timed end to end, recorded as a
+//! machine-readable perf trajectory in `BENCH_sim.json`.
+//!
+//! Every record measures one scenario: wall-clock time, discrete events
+//! processed, events per second, the peak event-queue depth, and (when the
+//! binary is built with the `bench-alloc` feature) an allocations-per-event
+//! estimate from a counting global allocator. Scenarios are a pure function of
+//! their config, so the events/queue-depth figures are identical across
+//! repetitions — only wall time varies, and the *best* repetition is recorded
+//! (standard practice: the minimum is the least noisy estimator of the true
+//! cost on a shared machine).
+//!
+//! The trajectory file is a JSON array with one flat record object per line,
+//! so it can be parsed with the same line-splitting idiom as the fuzz corpus
+//! and appended to without a full JSON parser.
+
+use crate::config::{Protocol, SimConfig};
+use crate::figures::FigureScale;
+use crate::metrics::RunReport;
+use crate::replicate::replicate_batch;
+use std::time::Instant;
+
+/// What one `bench` invocation should do.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Sweep scale for the figure-sweep scenario.
+    pub scale: FigureScale,
+    /// Wall-time repetitions per scenario (best is recorded).
+    pub reps: usize,
+    /// Worker threads for the sweep scenario (the job pool's width).
+    pub threads: usize,
+    /// Reads the process-wide allocation counter, when the binary compiled one
+    /// in (`bench-alloc` feature). `None` leaves `allocs_per_event` unset.
+    pub alloc_count: Option<fn() -> u64>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            scale: FigureScale::Smoke,
+            reps: 3,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            alloc_count: None,
+        }
+    }
+}
+
+/// One measured scenario: a line of the trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Trajectory label, e.g. `pr3-baseline`.
+    pub label: String,
+    /// Sweep scale the record was measured at (`smoke` / `paper`).
+    pub scale: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Best wall-clock time over the repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// Discrete events processed by the scenario's event loops.
+    pub events: u64,
+    /// `events / wall_ms`, scaled to per-second.
+    pub events_per_sec: f64,
+    /// Largest pending-event count observed in any run's queue.
+    pub peak_queue_depth: u64,
+    /// Heap allocations per event (only from `bench-alloc` builds).
+    pub allocs_per_event: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Encodes the record as one flat JSON object (one trajectory line).
+    pub fn to_json(&self) -> String {
+        let allocs = match self.allocs_per_event {
+            Some(a) => format!("{a:?}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"label\":\"{}\",\"scale\":\"{}\",\"scenario\":\"{}\",\"wall_ms\":{:?},\
+             \"events\":{},\"events_per_sec\":{:?},\"peak_queue_depth\":{},\
+             \"allocs_per_event\":{}}}",
+            self.label,
+            self.scale,
+            self.scenario,
+            self.wall_ms,
+            self.events,
+            self.events_per_sec,
+            self.peak_queue_depth,
+            allocs,
+        )
+    }
+
+    /// Parses one trajectory line; `None` for blanks, brackets, or malformed
+    /// records (a validation failure, not a skip, for anything inside `[...]`).
+    pub fn parse_line(line: &str) -> Option<BenchRecord> {
+        let line = line.trim().trim_end_matches(',');
+        let body = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut rec = BenchRecord {
+            label: String::new(),
+            scale: String::new(),
+            scenario: String::new(),
+            wall_ms: f64::NAN,
+            events: 0,
+            events_per_sec: f64::NAN,
+            peak_queue_depth: 0,
+            allocs_per_event: None,
+        };
+        let mut required = 0u32;
+        for field in body.split(',') {
+            let (key, value) = field.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value = value.trim();
+            let unquote = |v: &str| {
+                v.strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .map(str::to_string)
+            };
+            match key {
+                "label" => rec.label = unquote(value)?,
+                "scale" => rec.scale = unquote(value)?,
+                "scenario" => rec.scenario = unquote(value)?,
+                "wall_ms" => rec.wall_ms = value.parse().ok()?,
+                "events" => rec.events = value.parse().ok()?,
+                "events_per_sec" => rec.events_per_sec = value.parse().ok()?,
+                "peak_queue_depth" => rec.peak_queue_depth = value.parse().ok()?,
+                "allocs_per_event" => {
+                    rec.allocs_per_event = if value == "null" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    };
+                    continue; // optional: not counted toward `required`
+                }
+                _ => return None,
+            }
+            required += 1;
+        }
+        (required == 7).then_some(rec)
+    }
+}
+
+/// The result of one scenario's timed executions before labeling.
+struct Measured {
+    scenario: &'static str,
+    wall_ms: f64,
+    events: u64,
+    peak_queue_depth: u64,
+    allocs_per_event: Option<f64>,
+}
+
+/// Runs one scenario `reps` times, keeping the best wall time. The
+/// events/queue-depth figures are asserted identical across repetitions —
+/// a cheap determinism check riding along with every bench run.
+fn measure(
+    opts: &BenchOptions,
+    scenario: &'static str,
+    mut run: impl FnMut() -> Vec<RunReport>,
+) -> Measured {
+    let mut best_ms = f64::INFINITY;
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    let mut allocs_per_event = None;
+    for rep in 0..opts.reps.max(1) {
+        let allocs_before = opts.alloc_count.map(|f| f());
+        let start = Instant::now();
+        let reports = run();
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let ev: u64 = reports.iter().map(|r| r.events_processed).sum();
+        let pk = reports
+            .iter()
+            .map(|r| r.peak_queue_depth as u64)
+            .max()
+            .unwrap_or(0);
+        if rep == 0 {
+            events = ev;
+            peak = pk;
+            if let (Some(before), Some(f)) = (allocs_before, opts.alloc_count) {
+                let delta = f().saturating_sub(before);
+                allocs_per_event = Some(delta as f64 / ev.max(1) as f64);
+            }
+        } else {
+            assert_eq!(events, ev, "{scenario}: event count drifted across reps");
+            assert_eq!(peak, pk, "{scenario}: queue depth drifted across reps");
+        }
+        best_ms = best_ms.min(wall);
+    }
+    Measured {
+        scenario,
+        wall_ms: best_ms,
+        events,
+        peak_queue_depth: peak,
+        allocs_per_event,
+    }
+}
+
+/// The canonical benchmark suite: the figure sweep (the acceptance metric)
+/// plus one single-run scenario per protocol.
+pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
+    let scale_name = match opts.scale {
+        FigureScale::Paper => "paper",
+        FigureScale::Smoke => "smoke",
+    };
+    let mut measured = Vec::new();
+
+    // The smoke/paper-scale figure sweep: every (map point × protocol × seed)
+    // replication of the Fig 3.3–3.5 vehicle sweep, through the job pool.
+    let sweep_cfgs = sweep_configs(opts.scale);
+    let reps = match opts.scale {
+        FigureScale::Paper => 10,
+        FigureScale::Smoke => 2,
+    };
+    let sweep_jobs: Vec<(SimConfig, Protocol)> = sweep_cfgs
+        .iter()
+        .flat_map(|cfg| Protocol::ALL.map(|p| (cfg.clone(), p)))
+        .collect();
+    measured.push(measure(opts, "figure_sweep", || {
+        replicate_batch(&sweep_jobs, reps, opts.threads)
+            .into_iter()
+            .flatten()
+            .collect()
+    }));
+
+    // Single paper-headline runs, one per protocol (no replication fan-out, so
+    // these isolate the per-event hot path from the pool's scheduling).
+    let single = single_config(opts.scale);
+    for (name, protocol) in [
+        ("hlsrg_single", Protocol::Hlsrg),
+        ("rlsmp_single", Protocol::Rlsmp),
+    ] {
+        let cfg = single.clone();
+        measured.push(measure(opts, name, move || {
+            vec![crate::runner::run_simulation(&cfg, protocol)]
+        }));
+    }
+
+    measured
+        .into_iter()
+        .map(|m| {
+            let secs = m.wall_ms / 1e3;
+            BenchRecord {
+                label: label.to_string(),
+                scale: scale_name.to_string(),
+                scenario: m.scenario.to_string(),
+                wall_ms: m.wall_ms,
+                events: m.events,
+                events_per_sec: if secs > 0.0 {
+                    m.events as f64 / secs
+                } else {
+                    f64::INFINITY
+                },
+                peak_queue_depth: m.peak_queue_depth,
+                allocs_per_event: m.allocs_per_event,
+            }
+        })
+        .collect()
+}
+
+/// The Fig 3.3–3.5 vehicle-sweep configs at the given scale (same shrink rule
+/// as [`crate::figures`]).
+fn sweep_configs(scale: FigureScale) -> Vec<SimConfig> {
+    let vehicles: &[usize] = match scale {
+        FigureScale::Paper => &[300, 400, 500, 600],
+        FigureScale::Smoke => &[80, 120],
+    };
+    vehicles
+        .iter()
+        .map(|&v| {
+            let mut cfg = SimConfig::paper_2km(v, 2000);
+            if scale == FigureScale::Smoke {
+                cfg.duration = vanet_des::SimDuration::from_secs(120);
+                cfg.warmup = vanet_des::SimDuration::from_secs(40);
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// The single-run scenario at the given scale.
+fn single_config(scale: FigureScale) -> SimConfig {
+    let mut cfg = SimConfig::paper_2km(300, 7);
+    if scale == FigureScale::Smoke {
+        cfg.duration = vanet_des::SimDuration::from_secs(120);
+        cfg.warmup = vanet_des::SimDuration::from_secs(40);
+    }
+    cfg
+}
+
+/// Parses and validates a whole trajectory file: a JSON array, one record per
+/// line. Returns the records, or a message naming the first offending line.
+pub fn parse_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next() != Some("[") {
+        return Err("trajectory file must start with a '[' line".to_string());
+    }
+    let mut records = Vec::new();
+    let mut closed = false;
+    for line in lines {
+        if closed {
+            return Err(format!("content after closing ']': {line:?}"));
+        }
+        if line == "]" {
+            closed = true;
+            continue;
+        }
+        match BenchRecord::parse_line(line) {
+            Some(r) => records.push(r),
+            None => return Err(format!("invalid bench record line: {line:?}")),
+        }
+    }
+    if !closed {
+        return Err("trajectory file must end with a ']' line".to_string());
+    }
+    Ok(records)
+}
+
+/// Renders records back into the trajectory file format.
+pub fn render_trajectory(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Appends `new` to the trajectory at `path` (validating any existing
+/// content), creating the file if absent. Returns the full record set written.
+pub fn append_trajectory(
+    path: &std::path::Path,
+    new: &[BenchRecord],
+) -> Result<Vec<BenchRecord>, String> {
+    let mut records = match std::fs::read_to_string(path) {
+        Ok(text) => parse_trajectory(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    records.extend(new.iter().cloned());
+    std::fs::write(path, render_trajectory(&records))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, scenario: &str, allocs: Option<f64>) -> BenchRecord {
+        BenchRecord {
+            label: label.into(),
+            scale: "smoke".into(),
+            scenario: scenario.into(),
+            wall_ms: 123.456,
+            events: 9876,
+            events_per_sec: 80000.5,
+            peak_queue_depth: 321,
+            allocs_per_event: allocs,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json_line() {
+        for allocs in [None, Some(12.5)] {
+            let r = rec("pr3-baseline", "figure_sweep", allocs);
+            assert_eq!(BenchRecord::parse_line(&r.to_json()), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert_eq!(BenchRecord::parse_line(""), None);
+        assert_eq!(BenchRecord::parse_line("{\"label\":\"x\"}"), None);
+        assert_eq!(BenchRecord::parse_line("not json"), None);
+        // An unknown key is a schema violation, not an extension point.
+        let mut line = rec("a", "b", None).to_json();
+        line = line.replace("\"events\"", "\"evnets\"");
+        assert_eq!(BenchRecord::parse_line(&line), None);
+    }
+
+    #[test]
+    fn trajectory_renders_and_parses() {
+        let records = vec![
+            rec("base", "figure_sweep", None),
+            rec("post", "x", Some(1.0)),
+        ];
+        let text = render_trajectory(&records);
+        assert_eq!(parse_trajectory(&text).unwrap(), records);
+        assert!(parse_trajectory("[\ngarbage\n]\n").is_err());
+        assert!(parse_trajectory("{}\n").is_err());
+        assert!(parse_trajectory("[\n").is_err());
+    }
+
+    #[test]
+    fn append_creates_then_extends() {
+        let dir = std::env::temp_dir().join(format!("hlsrg-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let _ = std::fs::remove_file(&path);
+        append_trajectory(&path, &[rec("a", "s", None)]).unwrap();
+        let all = append_trajectory(&path, &[rec("b", "s", None)]).unwrap();
+        assert_eq!(all.len(), 2);
+        let reparsed = parse_trajectory(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(reparsed, all);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn smoke_bench_measures_something() {
+        // A minimal real measurement: tiny configs, one rep, serial.
+        let opts = BenchOptions {
+            reps: 1,
+            threads: 1,
+            ..BenchOptions::default()
+        };
+        let mut records = Vec::new();
+        let cfg = SimConfig::quick_demo(3);
+        let m = measure(&opts, "quick", || {
+            vec![crate::runner::run_simulation(&cfg, Protocol::Hlsrg)]
+        });
+        assert!(m.events > 0);
+        assert!(m.peak_queue_depth > 0);
+        assert!(m.wall_ms > 0.0);
+        records.push(m);
+    }
+}

@@ -9,7 +9,8 @@
 
 use crate::config::{Protocol, SimConfig};
 use crate::metrics::AveragedReport;
-use crate::replicate::replicate_averaged;
+use crate::pool::JobPool;
+use crate::replicate::replicate_batch;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vanet_des::SimDuration;
@@ -161,24 +162,43 @@ impl fmt::Display for Figure {
     }
 }
 
-fn compare(cfg: &SimConfig, replications: usize, x: f64) -> ComparisonPoint {
-    ComparisonPoint {
-        x,
-        hlsrg: replicate_averaged(cfg, Protocol::Hlsrg, replications),
-        rlsmp: replicate_averaged(cfg, Protocol::Rlsmp, replications),
-    }
+/// Runs a whole sweep — every (sweep point × protocol × seed) unit — through
+/// one shared job pool, then folds the reports back into per-point averages.
+/// A slow sweep point no longer serializes the points after it, and results
+/// are a pure function of the point list (see [`replicate_batch`]).
+fn compare_sweep(points: Vec<(f64, SimConfig)>, replications: usize) -> Vec<ComparisonPoint> {
+    let jobs: Vec<(SimConfig, Protocol)> = points
+        .iter()
+        .flat_map(|(_, cfg)| {
+            [
+                (cfg.clone(), Protocol::Hlsrg),
+                (cfg.clone(), Protocol::Rlsmp),
+            ]
+        })
+        .collect();
+    let mut grouped =
+        replicate_batch(&jobs, replications, JobPool::available().threads()).into_iter();
+    points
+        .into_iter()
+        .map(|(x, _)| ComparisonPoint {
+            x,
+            hlsrg: AveragedReport::from_runs(&grouped.next().expect("hlsrg group")),
+            rlsmp: AveragedReport::from_runs(&grouped.next().expect("rlsmp group")),
+        })
+        .collect()
 }
 
 /// **Fig 3.2 — location update overhead** over map sizes 500/1000/2000 m with the
 /// paper's proportional vehicle counts (31/125/500).
 pub fn fig3_2(scale: FigureScale) -> Figure {
     let sweep: &[(f64, usize)] = &[(500.0, 31), (1000.0, 125), (2000.0, 500)];
-    let mut points = Vec::new();
+    let mut point_cfgs = Vec::new();
     for &(size, vehicles) in sweep {
         let mut cfg = SimConfig::paper_fig3_2(size, vehicles, 1000);
         scale.shrink(&mut cfg);
-        points.push(compare(&cfg, scale.replications(), size));
+        point_cfgs.push((size, cfg));
     }
+    let points = compare_sweep(point_cfgs, scale.replications());
     Figure {
         id: "3.2",
         title: "Location update overhead",
@@ -201,15 +221,16 @@ fn sweep_2km(
     title: &'static str,
     y_label: &'static str,
 ) -> Figure {
-    let mut points = Vec::new();
+    let mut point_cfgs = Vec::new();
     for vehicles in vehicle_sweep(scale) {
         let mut cfg = SimConfig::paper_2km(vehicles, 2000);
         if scale == FigureScale::Smoke {
             cfg.duration = SimDuration::from_secs(120);
             cfg.warmup = SimDuration::from_secs(40);
         }
-        points.push(compare(&cfg, scale.replications(), vehicles as f64));
+        point_cfgs.push((vehicles as f64, cfg));
     }
+    let points = compare_sweep(point_cfgs, scale.replications());
     Figure {
         id,
         title,

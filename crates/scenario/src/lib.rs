@@ -18,20 +18,24 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod config;
 pub mod figures;
 #[cfg(feature = "check")]
 pub mod fuzz;
 pub mod metrics;
 pub mod plot;
+pub mod pool;
 pub mod replicate;
 pub mod runner;
 
+pub use bench::{append_trajectory, parse_trajectory, run_bench, BenchOptions, BenchRecord};
 pub use config::{Protocol, SimConfig};
 pub use figures::{fig3_2, fig3_3, fig3_345, fig3_4, fig3_5, ComparisonPoint, Figure, FigureScale};
 pub use metrics::{AveragedReport, PhaseTimingRow, RunReport, TimelinePoint};
 pub use plot::ascii_chart;
-pub use replicate::{replicate, replicate_averaged, replicate_with_threads};
+pub use pool::JobPool;
+pub use replicate::{replicate, replicate_averaged, replicate_batch, replicate_with_threads};
 pub use runner::{run_simulation, run_simulation_traced};
 #[cfg(feature = "check")]
 pub use runner::{run_simulation_checked, CheckSetup, Violation};

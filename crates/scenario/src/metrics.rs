@@ -65,6 +65,11 @@ pub struct RunReport {
     /// Wall-clock timings of the DES hot phases (empty unless the suite was
     /// built with the `trace` cargo feature).
     pub phase_timings: Vec<PhaseTimingRow>,
+    /// Discrete events processed by the run's event loop (the denominator of the
+    /// `bench` subcommand's events/sec figure).
+    pub events_processed: u64,
+    /// Largest number of pending events observed in the queue at any point.
+    pub peak_queue_depth: usize,
 }
 
 /// One DES hot phase's aggregated wall-clock cost.
@@ -152,6 +157,8 @@ impl RunReport {
             diagnostics: Vec::new(),
             timeline: Vec::new(),
             phase_timings: Vec::new(),
+            events_processed: 0,
+            peak_queue_depth: 0,
         }
     }
 

@@ -1,0 +1,125 @@
+//! A shared work-claiming job pool for sweep-level parallelism.
+//!
+//! The old fan-out pre-chunked seeds per thread (`thread::scope` with one
+//! spawn per chunk), so one slow replication serialized everything behind it
+//! in its chunk while other workers sat idle. Here workers claim the next
+//! unstarted job from a shared atomic cursor, one at a time, so the pool
+//! stays busy until the whole job list drains — and a single pool can
+//! schedule every (sweep point × protocol × seed) unit of a whole figure.
+//!
+//! Results land in a slot vector indexed by job, making the output a pure
+//! function of the job list: which worker ran what never shows in the result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool that fans a list of independent jobs out over scoped
+/// worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// A pool of exactly `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        JobPool { threads }
+    }
+
+    /// A pool as wide as the machine (one worker per available core).
+    pub fn available() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(ix)` for every `ix in 0..jobs` across the pool, returning the
+    /// results in job order. Workers claim indices from a shared cursor, so
+    /// scheduling adapts to uneven job lengths; the result vector depends only
+    /// on `job` itself, never on the claim order or the thread count.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(jobs);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let ix = cursor.fetch_add(1, Ordering::Relaxed);
+                    if ix >= jobs {
+                        break;
+                    }
+                    let out = job(ix);
+                    *slots[ix].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("claimed job left no result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_job_order_for_any_width() {
+        for threads in [1, 2, 7, 64] {
+            let pool = JobPool::new(threads);
+            let out = pool.run(23, |ix| ix * ix);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = JobPool::new(4).run(100, |ix| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            ix
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_no_op() {
+        let out: Vec<usize> = JobPool::new(8).run(0, |ix| ix);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_job_lengths_do_not_reorder_results() {
+        // Early jobs sleep; a chunked scheduler would let late jobs finish
+        // first, but the slot vector must still come back in job order.
+        let out = JobPool::new(4).run(12, |ix| {
+            if ix < 3 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            ix + 1
+        });
+        assert_eq!(out, (1..=12).collect::<Vec<_>>());
+    }
+}

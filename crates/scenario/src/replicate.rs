@@ -1,14 +1,15 @@
-//! Multi-seed replication, fanned out across threads.
+//! Multi-seed replication over the shared job pool.
 //!
 //! The paper averages Fig 3.5 over 10 simulations; we do the same for every figure.
-//! Runs are embarrassingly parallel (each owns its whole world), so we fan seeds
-//! out over `std::thread::scope` and fold results back in seed order, keeping
-//! the aggregate deterministic.
+//! Runs are embarrassingly parallel (each owns its whole world), so every
+//! (config × protocol × seed) unit goes through [`JobPool`] and results fold
+//! back in seed order, keeping the aggregate deterministic regardless of
+//! worker count or claim order.
 
 use crate::config::{Protocol, SimConfig};
 use crate::metrics::{AveragedReport, RunReport};
+use crate::pool::JobPool;
 use crate::runner::run_simulation;
-use std::sync::Mutex;
 
 /// Runs `cfg` under `protocol` for seeds `0..replications`, in parallel, returning
 /// the per-seed reports in seed order. Uses one worker per available core.
@@ -30,31 +31,39 @@ pub fn replicate_with_threads(
     threads: usize,
 ) -> Vec<RunReport> {
     assert!(replications > 0, "need at least one replication");
-    assert!(threads > 0, "need at least one worker thread");
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; replications]);
-    let chunk = replications.div_ceil(threads);
-    std::thread::scope(|s| {
-        for chunk_start in (0..replications).step_by(chunk.max(1)) {
-            let results = &results;
-            let cfg = cfg.clone();
-            s.spawn(move || {
-                for seed_ix in chunk_start..(chunk_start + chunk).min(replications) {
-                    let mut run_cfg = cfg.clone();
-                    // Each replication gets its own master seed, offset from the
-                    // configured one.
-                    run_cfg.seed = cfg.seed.wrapping_add(seed_ix as u64);
-                    let report = run_simulation(&run_cfg, protocol);
-                    results.lock().expect("results mutex poisoned")[seed_ix] = Some(report);
-                }
-            });
-        }
+    let jobs = [(cfg.clone(), protocol)];
+    replicate_batch(&jobs, replications, threads)
+        .pop()
+        .expect("one job in, one group out")
+}
+
+/// Runs every `(config, protocol)` pair for seeds `0..replications` through one
+/// shared [`JobPool`], returning the per-pair reports (in seed order) grouped
+/// in input order. This is how a whole figure's sweep — every
+/// (sweep point × protocol × seed) unit — shares a single pool instead of
+/// fanning out once per sweep point: a slow point no longer serializes the
+/// points after it.
+pub fn replicate_batch(
+    jobs: &[(SimConfig, Protocol)],
+    replications: usize,
+    threads: usize,
+) -> Vec<Vec<RunReport>> {
+    assert!(replications > 0, "need at least one replication");
+    let pool = JobPool::new(threads);
+    let reports = pool.run(jobs.len() * replications, |u| {
+        let (cfg, protocol) = &jobs[u / replications];
+        let mut run_cfg = cfg.clone();
+        // Each replication gets its own master seed, offset from the
+        // configured one.
+        run_cfg.seed = cfg.seed.wrapping_add((u % replications) as u64);
+        run_simulation(&run_cfg, *protocol)
     });
-    results
-        .into_inner()
-        .expect("results mutex poisoned")
-        .into_iter()
-        .map(|r| r.expect("every seed produced a report"))
-        .collect()
+    let mut grouped = Vec::with_capacity(jobs.len());
+    let mut it = reports.into_iter();
+    for _ in 0..jobs.len() {
+        grouped.push(it.by_ref().take(replications).collect());
+    }
+    grouped
 }
 
 /// Replicates and averages in one call.
@@ -123,6 +132,36 @@ mod tests {
         for ((s, p), d) in serial.iter().zip(&parallel).zip(&default) {
             assert_reports_identical(s, p);
             assert_reports_identical(s, d);
+        }
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_across_pool_widths() {
+        // The whole-figure batch — (config × protocol × seed) units through one
+        // pool — must be a pure function of the job list: 1 worker and N
+        // workers agree field by field, and the batch agrees with per-config
+        // replication.
+        let mut cfg_a = SimConfig::quick_demo(21);
+        cfg_a.vehicles = 30;
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.vehicles = 40;
+        let jobs = vec![
+            (cfg_a.clone(), Protocol::Hlsrg),
+            (cfg_a.clone(), Protocol::Rlsmp),
+            (cfg_b.clone(), Protocol::Hlsrg),
+        ];
+        let serial = replicate_batch(&jobs, 2, 1);
+        let pooled = replicate_batch(&jobs, 2, 8);
+        assert_eq!(serial.len(), 3);
+        for (s_group, p_group) in serial.iter().zip(&pooled) {
+            assert_eq!(s_group.len(), 2);
+            for (s, p) in s_group.iter().zip(p_group) {
+                assert_reports_identical(s, p);
+            }
+        }
+        let direct = replicate_with_threads(&cfg_b, Protocol::Hlsrg, 2, 1);
+        for (d, s) in direct.iter().zip(&serial[2]) {
+            assert_reports_identical(d, s);
         }
     }
 

@@ -229,7 +229,13 @@ fn run_simulation_impl(
     let mut model = model;
 
     // Node registry: vehicles always; RSUs only for the protocol that uses them.
-    let mut registry = NodeRegistry::new(cfg.radio.range);
+    // Pre-sized from the scenario config so registration never rehashes.
+    let node_count = cfg.vehicles
+        + match protocol {
+            Protocol::Hlsrg => partition.rsus().len(),
+            Protocol::Rlsmp => 0,
+        };
+    let mut registry = NodeRegistry::with_capacity(cfg.radio.range, node_count);
     for s in model.snapshot(&net) {
         registry.add_vehicle(s.id, s.new_pos);
     }
@@ -282,23 +288,25 @@ fn run_simulation_impl(
 
     match protocol {
         Protocol::Hlsrg => {
-            let proto = HlsrgProtocol::new(
+            let mut proto = HlsrgProtocol::new(
                 &net,
                 Arc::clone(&partition),
                 cfg.hlsrg,
                 stream_rng(cfg.seed, StreamId::Protocol),
             );
+            proto.reserve_vehicles(cfg.vehicles);
             let deadline = cfg.hlsrg.query_deadline;
             drive(
                 cfg, protocol, net, lights, model, core, proto, deadline, check,
             )
         }
         Protocol::Rlsmp => {
-            let proto = RlsmpProtocol::new(
+            let mut proto = RlsmpProtocol::new(
                 net.bbox(),
                 cfg.rlsmp,
                 stream_rng(cfg.seed, StreamId::Protocol),
             );
+            proto.reserve_vehicles(cfg.vehicles);
             let deadline = cfg.rlsmp.query_deadline;
             drive(
                 cfg, protocol, net, lights, model, core, proto, deadline, check,
@@ -361,7 +369,12 @@ fn drive<L: LocationService>(
     let mut check = check;
     #[cfg(not(feature = "check"))]
     let () = check;
-    let mut queue: EventQueue<Ev<L::Payload, L::Timer>> = EventQueue::with_capacity(4096);
+    // Pre-size the queue from the config: every mobility tick is scheduled up
+    // front, and in-flight radio traffic scales with the fleet (~32 pending
+    // events per vehicle covers the observed peaks with headroom).
+    let tick_count = (cfg.duration.as_micros() / cfg.mobility.tick.as_micros().max(1)) as usize;
+    let mut queue: EventQueue<Ev<L::Payload, L::Timer>> =
+        EventQueue::with_capacity(tick_count + cfg.vehicles * 32 + 64);
     let mut mob_rng = stream_rng(cfg.seed, StreamId::Mobility);
     let mut query_rng = stream_rng(cfg.seed, StreamId::Queries);
 
@@ -400,7 +413,10 @@ fn drive<L: LocationService>(
     // process while the head event's time is `<= horizon`), so the queue pop,
     // the mobility step, and radio delivery can each sit inside a timing span.
     let horizon = SimTime::ZERO + cfg.duration;
+    let mut events_processed = 0u64;
+    let mut peak_queue_depth = queue.len();
     loop {
+        peak_queue_depth = peak_queue_depth.max(queue.len());
         let popped = core
             .timings
             .time(Phase::EventPop, || match queue.peek_time() {
@@ -408,6 +424,7 @@ fn drive<L: LocationService>(
                 _ => None,
             });
         let Some((now, ev)) = popped else { break };
+        events_processed += 1;
         core.set_trace_now(now);
         match ev {
             Ev::Tick => {
@@ -544,6 +561,8 @@ fn drive<L: LocationService>(
         .unwrap_or(0);
     report.timeline = timeline;
     report.phase_timings = core.timings.summary().into_iter().map(Into::into).collect();
+    report.events_processed = events_processed;
+    report.peak_queue_depth = peak_queue_depth;
     (report, core.take_tracer())
 }
 

@@ -6,7 +6,7 @@
 //! and update-trigger counters split by artery vs. normal road class.
 
 use crate::event::TraceEvent;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use vanet_des::{Counter, Histogram, SimTime, Welford};
 
 /// Latency histogram geometry: 100 ms bins spanning 30 s.
@@ -69,7 +69,7 @@ pub struct MetricsRegistry {
     route_up: Counter,
     route_down: Counter,
     /// Launch time and deepest level visited, per open query.
-    open: HashMap<u64, (SimTime, u8)>,
+    open: FxHashMap<u64, (SimTime, u8)>,
 }
 
 impl Default for MetricsRegistry {
@@ -102,7 +102,7 @@ impl MetricsRegistry {
             queries_retried: Counter::new(),
             route_up: Counter::new(),
             route_down: Counter::new(),
-            open: HashMap::new(),
+            open: FxHashMap::default(),
         }
     }
 

@@ -13,14 +13,51 @@ use hlsrg_suite::des::{SimDuration, SimTime};
 use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace, TrafficLights};
 use hlsrg_suite::roadnet::{generate_grid, to_map_text, GridMapSpec};
 use hlsrg_suite::scenario::{
-    fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_traced, FigureScale,
-    Protocol, RunReport, SimConfig,
+    fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_traced, BenchOptions,
+    FigureScale, Protocol, RunReport, SimConfig,
 };
 use hlsrg_suite::trace::{cause_name, registry_from_events, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// A pass-through global allocator that counts every allocation, feeding the
+/// `bench` subcommand's allocations-per-event estimate. Only installed in
+/// `bench-alloc` builds — the per-allocation atomic skews wall-clock numbers.
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System`; only bookkeeping is added.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub fn count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +84,7 @@ fn main() -> ExitCode {
         "map" => cmd_map(&flags),
         "trace" => cmd_trace(&flags),
         "fuzz" => cmd_fuzz(&flags),
+        "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -80,6 +118,11 @@ commands:
            with the invariant        --replay FILE (re-run a corpus)
            oracle armed (needs the   --corrupt (arm the table-corruption
            `check` cargo feature)    self-test mutation)
+                                     --pool N|auto (fan cases over the job pool)
+  bench    time the canonical        --scale smoke|paper (or HLSRG_BENCH_SCALE)
+           scenarios and append to   --reps N  --threads N  --label NAME
+           the perf trajectory       --out FILE (default BENCH_sim.json)
+                                     --check FILE (validate a trajectory, no runs)
   help     this message"
     );
 }
@@ -439,7 +482,7 @@ fn cmd_trace(flags: &Flags) -> ExitCode {
 /// the original case) to a `--out` JSONL corpus that `--replay` re-runs.
 #[cfg(feature = "check")]
 fn cmd_fuzz(flags: &Flags) -> ExitCode {
-    use hlsrg_suite::scenario::fuzz::{corpus_of, fuzz_campaign, replay};
+    use hlsrg_suite::scenario::fuzz::{corpus_of, fuzz_campaign, fuzz_campaign_pooled, replay};
 
     if let Some(path) = flags.get("replay") {
         let text = match std::fs::read_to_string(path) {
@@ -475,11 +518,32 @@ fn cmd_fuzz(flags: &Flags) -> ExitCode {
     let runs = get(flags, "runs", 50u64);
     let seed = get(flags, "seed", 0u64);
     let corrupt = flags.contains_key("corrupt");
-    let failures = fuzz_campaign(seed, runs, corrupt, |ix, case, failed| {
-        if failed {
-            eprintln!("case {ix} FAILED: {}", case.to_jsonl());
+    // `--pool N` fans cases out over the shared job pool (`auto` = one worker
+    // per core); results are index-ordered either way, so the corpus and exit
+    // code cannot depend on the pool width.
+    let failures = match flags.get("pool") {
+        Some(v) => {
+            let threads = if v == "auto" {
+                hlsrg_suite::scenario::JobPool::available().threads()
+            } else {
+                match v.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!(
+                            "error: --pool wants a positive thread count or `auto`, got {v:?}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            fuzz_campaign_pooled(seed, runs, corrupt, threads)
         }
-    });
+        None => fuzz_campaign(seed, runs, corrupt, |ix, case, failed| {
+            if failed {
+                eprintln!("case {ix} FAILED: {}", case.to_jsonl());
+            }
+        }),
+    };
     println!(
         "fuzz: {runs} runs from seed {seed}{}, {} failing",
         if corrupt { " (corruption armed)" } else { "" },
@@ -514,6 +578,94 @@ fn cmd_fuzz(_flags: &Flags) -> ExitCode {
          Rebuild with:  cargo build --release --features check"
     );
     ExitCode::FAILURE
+}
+
+/// `bench` — time the canonical scenarios and append to the perf trajectory.
+///
+/// The scale comes from `--scale`, falling back to the `HLSRG_BENCH_SCALE`
+/// environment variable (the CI hook), then to `smoke`. `--check FILE`
+/// validates an existing trajectory without running anything.
+fn cmd_bench(flags: &Flags) -> ExitCode {
+    use hlsrg_suite::scenario::{append_trajectory, parse_trajectory, run_bench};
+
+    if let Some(path) = flags.get("check") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match parse_trajectory(&text) {
+            Ok(records) => {
+                println!("{path}: {} valid bench records", records.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let scale_name = flags
+        .get("scale")
+        .cloned()
+        .or_else(|| std::env::var("HLSRG_BENCH_SCALE").ok())
+        .unwrap_or_else(|| "smoke".into());
+    let scale = match scale_name.as_str() {
+        "smoke" => FigureScale::Smoke,
+        "paper" => FigureScale::Paper,
+        other => {
+            eprintln!("error: unknown bench scale {other:?} (use smoke or paper)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = BenchOptions {
+        scale,
+        ..BenchOptions::default()
+    };
+    opts.reps = get(flags, "reps", opts.reps).max(1);
+    opts.threads = get(flags, "threads", opts.threads).max(1);
+    #[cfg(feature = "bench-alloc")]
+    {
+        opts.alloc_count = Some(counting_alloc::count);
+    }
+    let label = flags.get("label").cloned().unwrap_or_else(|| "dev".into());
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".into());
+
+    let records = run_bench(&opts, &label);
+    for r in &records {
+        println!(
+            "{:<14} {:>10.1} ms  {:>9} events  {:>11.0} events/s  peak queue {:>6}{}",
+            r.scenario,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            r.peak_queue_depth,
+            match r.allocs_per_event {
+                Some(a) => format!("  {a:.1} allocs/event"),
+                None => String::new(),
+            }
+        );
+    }
+    match append_trajectory(std::path::Path::new(&out), &records) {
+        Ok(all) => {
+            eprintln!(
+                "appended {} records to {out} ({} total)",
+                records.len(),
+                all.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_map(flags: &Flags) -> ExitCode {
