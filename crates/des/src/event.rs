@@ -3,54 +3,168 @@
 //! Events are ordered by `(time, sequence)`: strictly by timestamp, and FIFO among
 //! events scheduled for the same instant. The sequence tie-break is what makes runs
 //! deterministic — two events at the same time always fire in the order they were
-//! scheduled, independent of heap internals.
+//! scheduled, independent of the queue's internal layout.
+//!
+//! # The two-tier calendar queue
+//!
+//! [`EventQueue`] is a Brown-style *calendar queue* (R. Brown, "Calendar Queues: A
+//! Fast O(1) Priority Queue Implementation for the Simulation Event Set Problem",
+//! CACM 1988) with a far-future overflow tier. The calendar proper is an array of
+//! `2^k` buckets, each covering a `width`-µs window of a contiguous near-term span
+//! `[cal_start, cal_end)` — one "year". An event at time `t` inside the span lives
+//! in bucket `(t / width) mod 2^k`; a cursor `(cur_bucket, cur_top)` walks the
+//! windows in time order. Events at or beyond `cal_end` wait in `far`, an unsorted
+//! vec with a cached minimum key. When the calendar drains, the next year's worth
+//! migrates out of `far` in one pass. With bucket occupancy near 1, `schedule` and
+//! `pop` are amortized O(1) — no `O(log n)` comparator walk at 10k+ pending
+//! events, which is where a VANET run spends most of its wall time.
+//!
+//! The two tiers exist because a VANET pending set is bimodal: a dense head of
+//! radio deliveries microseconds-to-milliseconds apart, plus a sparse tail of
+//! pre-scheduled mobility ticks spread over the whole run. One width cannot serve
+//! both — wide enough to cover the tail, the head collapses into one bucket and
+//! every pop scans it linearly; narrow enough for the head, the tail turns every
+//! pop into a fruitless year-long rotation. Splitting the tail into `far` lets the
+//! width track head density alone.
+//!
+//! Layout choices that keep the structure exact and fast:
+//!
+//! * **Buckets are unsorted vecs with a cached minimum key**: an insert is a pure
+//!   `Vec::push` plus one key compare — no sorted-insert memmove, which matters
+//!   because event payloads run to ~200 bytes. A pop scans its bucket once for
+//!   the minimum `(time, seq)` (tracking the runner-up to refresh the cache) and
+//!   `swap_remove`s it; the rotation scan consults only the cached keys.
+//! * **The span maps windows to buckets bijectively** (`cal_end - cal_start` never
+//!   exceeds `2^k · width`), so a non-empty bucket at the cursor *is* the earliest
+//!   window with work — no wrap-around years, no direct-search fallback.
+//! * **The pop order is structural**: windows partition the timeline, the cursor
+//!   visits them in increasing order, ties at one instant share a bucket where the
+//!   `(time, seq)` order is total, and everything in `far` is at or beyond
+//!   `cal_end`, later than everything in the calendar. Resizing, recalibration and
+//!   migration are therefore free to be heuristic without risking determinism
+//!   (the differential suite against [`crate::HeapQueue`] pins this).
+//! * **Lazy resize**: the bucket array doubles when calendar occupancy passes 2
+//!   and halves when it falls under 1/8; the width is re-derived from the gaps
+//!   among the earliest pending events whenever per-pop work (rotation steps or
+//!   bucket scan length) drifts, or a single bucket grows dense. All triggers are
+//!   pure functions of the operation sequence.
+//! * Events scheduled *behind* the cursor (possible only after a declined
+//!   [`EventQueue::pop_if_at_or_before`]) rewind it; events behind `cal_start`
+//!   (possible only after a migration jumped the span ahead of the clock) extend
+//!   the span downward, or trigger a full re-center if it no longer fits.
+//!
+//! The previous `BinaryHeap` kernel survives as [`crate::HeapQueue`], the reference
+//! implementation the differential tests drive in lockstep.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled event: payload `E` plus its firing time and insertion sequence.
 #[derive(Debug, Clone)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
+/// Fewest buckets the calendar ever uses; also the initial count of
+/// [`EventQueue::new`].
+const MIN_BUCKETS: usize = 16;
+/// Most buckets the calendar will grow to (2^20 ≈ 1M pending at occupancy 2).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Bucket width before the first calibration, in µs (1 ms — the order of radio
+/// delivery delays, the densest event class in a VANET run).
+const DEFAULT_WIDTH_US: u64 = 1_000;
+/// Pops between drift checks of the average per-pop scan work.
+const CALIB_WINDOW: u64 = 1024;
+/// Average per-pop scan work (rotation steps + bucket elements) above which the
+/// width is re-derived. Occupancy ~2 costs ~2–3 per pop, so 8 means "paying
+/// several times the ideal".
+const CALIB_SCAN_THRESHOLD: u64 = 8;
+/// An insert that leaves a bucket longer than this asks for a width
+/// recalibration (rate-limited by `ops_since_rebuild`): the pop-side min scan
+/// is linear in bucket length, so one hot bucket turns the drain quadratic
+/// long before the average-drift check can notice.
+const DENSE_BUCKET_MAX: usize = 64;
+/// How many of the earliest pending events a rebuild samples to set the width.
+/// Near-head density is what pop scans actually see; a far-future tail
+/// (mobility ticks minutes out) must not stretch the width.
+const WIDTH_SAMPLE: usize = 32;
+/// Cached-minimum sentinel for an empty bucket (also the empty `far` min). The
+/// `u64::MAX` *sequence* is the emptiness marker (a real event can carry
+/// `SimTime::MAX` but never that sequence number), so emptiness survives any
+/// comparison against real keys.
+const EMPTY_MIN: (SimTime, u64) = (SimTime::MAX, u64::MAX);
 
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Self-telemetry of a queue: sizing and scan statistics since construction (or
+/// the last [`EventQueue::reset`]). Surfaced per run by the `bench` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueTelemetry {
+    /// Largest number of pending events ever held.
+    pub peak_depth: usize,
+    /// Bucket-array resizes, width recalibrations, and far-tier migrations.
+    pub resizes: u64,
+    /// Most scan work any single pop needed: the larger of its cursor rotation
+    /// steps and its bucket scan length (1 = cursor hit a one-event bucket).
+    pub max_pop_scan: u64,
+    /// Current bucket count.
+    pub buckets: usize,
+    /// Current bucket width in µs.
+    pub width_us: u64,
 }
 
 /// A priority queue of timestamped events with deterministic FIFO tie-breaking.
 ///
 /// This is the heart of the kernel. Protocol and mobility layers push future work in
 /// with [`EventQueue::schedule_at`] / [`EventQueue::schedule_after`]; the driver pops
-/// it back out in global time order.
+/// it back out in global time order. Internally a two-tier calendar queue — see the
+/// module docs for the structure and its invariants.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `2^k` unsorted buckets; each bucket's earliest key is cached in `mins`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Per-bucket minimum `(time, seq)`, [`EMPTY_MIN`] when the bucket is
+    /// empty. Lets the rotation scan touch one small key per bucket instead of
+    /// the event payloads.
+    mins: Vec<(SimTime, u64)>,
+    /// `buckets.len() - 1`, for masking bucket indices.
+    mask: usize,
+    /// Bucket width in µs (≥ 1).
+    width: u64,
+    /// Pending events across both tiers.
+    len: usize,
+    /// The bucket the pop scan resumes from.
+    cur_bucket: usize,
+    /// Exclusive upper time bound of the current window, always a multiple of
+    /// `width`, never past `cal_end`. `u128` so span arithmetic cannot
+    /// overflow near `SimTime::MAX`.
+    cur_top: u128,
+    /// Inclusive lower bound of the calendar span, a multiple of `width`.
+    /// Every bucket event is at or after it.
+    cal_start: u128,
+    /// Exclusive upper bound of the calendar span. Every bucket event is
+    /// before it, every `far` event at or beyond it, and
+    /// `cal_end - cal_start <= buckets · width` (bijective window mapping).
+    cal_end: u128,
+    /// Far-future overflow: unsorted, earliest key cached in `far_min`.
+    far: Vec<Scheduled<E>>,
+    /// Minimum `(time, seq)` in `far`, [`EMPTY_MIN`] when empty.
+    far_min: (SimTime, u64),
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
+    /// Reused staging buffer for rebuilds, so resizing never reallocates twice.
+    scratch: Vec<Scheduled<E>>,
+    /// Reused key buffer for the width sample, so calibration never moves
+    /// event payloads.
+    key_scratch: Vec<(u64, u64)>,
+    peak_depth: usize,
+    resizes: u64,
+    max_pop_scan: u64,
+    calib_pops: u64,
+    calib_scans: u64,
+    /// Schedules + pops since the last rebuild; rate-limits the dense-bucket
+    /// trigger so rebuild work stays amortized O(1) per operation.
+    ops_since_rebuild: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,21 +176,58 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at t = 0.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            scheduled_total: 0,
-        }
+        Self::with_params(MIN_BUCKETS, DEFAULT_WIDTH_US)
     }
 
-    /// Creates an empty queue pre-sized for `cap` pending events.
+    /// Creates an empty queue pre-sized for `cap` pending events (bucket
+    /// occupancy ~2 at peak, so steady-state scheduling never grows the array).
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_params(
+            (cap / 2)
+                .clamp(MIN_BUCKETS, MAX_BUCKETS)
+                .next_power_of_two(),
+            DEFAULT_WIDTH_US,
+        )
+    }
+
+    /// Creates an empty queue pre-sized for `cap` pending events spread over
+    /// `horizon` of simulated time, calibrating the initial bucket width so
+    /// the first pops already hit short buckets.
+    pub fn with_capacity_and_horizon(cap: usize, horizon: SimDuration) -> Self {
+        let width = (horizon.as_micros() / cap.max(1) as u64).max(1);
+        Self::with_params(
+            (cap / 2)
+                .clamp(MIN_BUCKETS, MAX_BUCKETS)
+                .next_power_of_two(),
+            width,
+        )
+    }
+
+    fn with_params(buckets: usize, width: u64) -> Self {
+        debug_assert!(buckets.is_power_of_two());
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            buckets: std::iter::repeat_with(Vec::new).take(buckets).collect(),
+            mins: vec![EMPTY_MIN; buckets],
+            mask: buckets - 1,
+            width,
+            len: 0,
+            cur_bucket: 0,
+            cur_top: width as u128,
+            cal_start: 0,
+            cal_end: buckets as u128 * width as u128,
+            far: Vec::new(),
+            far_min: EMPTY_MIN,
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
+            scratch: Vec::new(),
+            key_scratch: Vec::new(),
+            peak_depth: 0,
+            resizes: 0,
+            max_pop_scan: 0,
+            calib_pops: 0,
+            calib_scans: 0,
+            ops_since_rebuild: 0,
         }
     }
 
@@ -89,19 +240,67 @@ impl<E> EventQueue<E> {
     /// Number of events waiting to fire.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (for diagnostics).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Sizing and scan statistics since construction or the last reset.
+    pub fn telemetry(&self) -> QueueTelemetry {
+        QueueTelemetry {
+            peak_depth: self.peak_depth,
+            resizes: self.resizes,
+            max_pop_scan: self.max_pop_scan,
+            buckets: self.buckets.len(),
+            width_us: self.width,
+        }
+    }
+
+    /// Total event slots currently allocated across the buckets and the far
+    /// tier — what [`EventQueue::reset`] preserves for reuse (diagnostics and
+    /// tests).
+    pub fn storage_capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.far.capacity()
+    }
+
+    /// Events currently in the calendar tier (the rest wait in `far`).
+    #[inline]
+    fn cal_len(&self) -> usize {
+        self.len - self.far.len()
+    }
+
+    /// The calendar's maximum span: one window per bucket.
+    #[inline]
+    fn span(&self) -> u128 {
+        self.buckets.len() as u128 * self.width as u128
+    }
+
+    /// The bucket an in-span instant maps to.
+    #[inline]
+    fn bucket_of(&self, t_us: u64) -> usize {
+        ((t_us / self.width) as usize) & self.mask
+    }
+
+    /// Exclusive upper edge of the window containing `t_us`.
+    #[inline]
+    fn window_top(&self, t_us: u64) -> u128 {
+        (t_us as u128 / self.width as u128 + 1) * self.width as u128
+    }
+
+    /// `t` rounded down to a window boundary.
+    #[inline]
+    fn align_down(&self, t: u128) -> u128 {
+        t / self.width as u128 * self.width as u128
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -120,11 +319,53 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled {
+        self.ops_since_rebuild += 1;
+        self.len += 1;
+        if self.len > self.peak_depth {
+            self.peak_depth = self.len;
+        }
+        let s = Scheduled {
             time: at,
             seq,
             event,
-        });
+        };
+        let t = at.as_micros() as u128;
+        if t >= self.cal_end {
+            self.push_far(s);
+            return;
+        }
+        if t < self.cal_start {
+            // Only possible when a migration jumped the span ahead of `now`
+            // and the driver then scheduled in between. Extend the span
+            // downward when the window mapping stays bijective; otherwise
+            // re-center the whole structure around the new head.
+            let ns = self.align_down(t);
+            if self.cal_end - ns <= self.span() {
+                self.cal_start = ns;
+            } else {
+                self.recenter(s);
+                return;
+            }
+        }
+        self.place(s);
+        let nb = self.buckets.len();
+        // Sizing tracks *total* pending (both tiers): the far tier's events
+        // all pass through the calendar eventually, and one measure for both
+        // grow and shrink keeps the two triggers from oscillating when the
+        // tier split shifts.
+        if self.len > nb * 2 && nb < MAX_BUCKETS {
+            self.rebuild(nb * 2);
+        } else if self.width > 1
+            && self.buckets[self.bucket_of(at.as_micros())].len() > DENSE_BUCKET_MAX
+            && self.ops_since_rebuild >= (self.cal_len() as u64 / 2).max(DENSE_BUCKET_MAX as u64)
+        {
+            // One bucket is absorbing the inserts: the width is too wide for
+            // the near-head event density. Re-derive it (the rebuild samples
+            // the earliest pending gaps). The `ops_since_rebuild` guard keeps
+            // this amortized O(1), and a width of 1 µs cannot narrow further
+            // (same-instant ties), so it never thrashes.
+            self.rebuild(nb);
+        }
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -133,25 +374,343 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Timestamp of the next pending event, if any.
+    /// Appends to the far tier, maintaining its cached minimum.
+    #[inline]
+    fn push_far(&mut self, s: Scheduled<E>) {
+        let key = (s.time, s.seq);
+        if key < self.far_min {
+            self.far_min = key;
+        }
+        self.far.push(s);
+    }
+
+    /// Inserts an in-span event into its bucket, rewinding the cursor if the
+    /// event lands before the current window (possible only after a declined
+    /// [`EventQueue::pop_if_at_or_before`] advanced it into the future).
+    fn place(&mut self, s: Scheduled<E>) {
+        let t = s.time.as_micros();
+        debug_assert!((t as u128) >= self.cal_start && (t as u128) < self.cal_end);
+        if (t as u128) < self.cur_top - self.width as u128 {
+            self.cur_bucket = self.bucket_of(t);
+            self.cur_top = self.window_top(t);
+        }
+        let ix = self.bucket_of(t);
+        let key = (s.time, s.seq);
+        if key < self.mins[ix] {
+            self.mins[ix] = key;
+        }
+        self.buckets[ix].push(s);
+    }
+
+    /// Timestamp of the next pending event, if any. Read-only, O(buckets) —
+    /// the hot paths use [`EventQueue::pop_if_at_or_before`], which resumes
+    /// from the cursor instead.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        if self.len == 0 {
+            return None;
+        }
+        if self.cal_len() > 0 {
+            // Everything in the calendar precedes everything in `far`, so the
+            // smallest cached bucket key is the global head.
+            self.mins
+                .iter()
+                .filter(|m| m.1 != u64::MAX)
+                .min()
+                .map(|&(t, _)| t)
+        } else {
+            Some(self.far_min.0)
+        }
+    }
+
+    /// Locates the bucket holding the earliest pending event, committing the
+    /// cursor to its window and migrating from the far tier if the calendar
+    /// has drained. Safe to commit even when the caller then declines the
+    /// pop: every pending event is `>=` the found head, so no window with due
+    /// work is skipped, and [`EventQueue::place`] rewinds for later inserts.
+    fn find_next(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut steps = 0u64;
+        if self.cal_len() == 0 {
+            // The calendar is drained; pull the next span's worth out of
+            // the far tier (its head becomes the new span's first event)
+            // without walking the remaining empty windows.
+            debug_assert!(!self.far.is_empty());
+            steps += self.far.len() as u64;
+            self.migrate();
+        }
+        loop {
+            let m = self.mins[self.cur_bucket];
+            if m.1 != u64::MAX {
+                // Bijective mapping: a non-empty bucket at the cursor is
+                // due in this very window.
+                debug_assert!((m.0.as_micros() as u128) < self.cur_top);
+                if steps > self.max_pop_scan {
+                    self.max_pop_scan = steps;
+                }
+                self.calib_scans += steps;
+                return Some(self.cur_bucket);
+            }
+            if self.cur_top >= self.cal_end {
+                break;
+            }
+            steps += 1;
+            self.cur_bucket = (self.cur_bucket + 1) & self.mask;
+            self.cur_top += self.width as u128;
+        }
+        // Unreachable while the bijective-span invariant holds (a
+        // non-empty calendar always has a bucket between the cursor and
+        // the span end); recover with a direct search if it ever breaks.
+        debug_assert!(false, "fruitless rotation over a non-empty calendar");
+        let (i, m) = self
+            .mins
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.1 != u64::MAX)
+            .min_by_key(|&(_, m)| m)
+            .map(|(i, &m)| (i, m))
+            .expect("cal_len > 0 but every bucket is empty");
+        self.cur_bucket = i;
+        self.cur_top = self.window_top(m.0.as_micros());
+        Some(i)
+    }
+
+    /// Removes the earliest event of bucket `ix` (located by `find_next`),
+    /// advancing the clock and running the lazy shrink / width-drift checks.
+    /// One scan finds both the minimum and the runner-up, so the cached bucket
+    /// minimum is refreshed without a second pass.
+    fn commit_pop(&mut self, ix: usize) -> (SimTime, E) {
+        let b = &mut self.buckets[ix];
+        let blen = b.len() as u64;
+        let mut best = 0usize;
+        let mut best_key = (b[0].time, b[0].seq);
+        let mut second = EMPTY_MIN;
+        for (i, e) in b.iter().enumerate().skip(1) {
+            let key = (e.time, e.seq);
+            if key < best_key {
+                second = best_key;
+                best_key = key;
+                best = i;
+            } else if key < second {
+                second = key;
+            }
+        }
+        debug_assert_eq!(best_key, self.mins[ix], "cached bucket min is stale");
+        let s = b.swap_remove(best);
+        self.mins[ix] = second;
+        self.len -= 1;
+        debug_assert!(s.time >= self.now, "event queue went back in time");
+        self.now = s.time;
+        self.ops_since_rebuild += 1;
+        self.calib_pops += 1;
+        self.calib_scans += blen - 1;
+        if blen > self.max_pop_scan {
+            self.max_pop_scan = blen;
+        }
+        if self.calib_scans > CALIB_WINDOW * CALIB_SCAN_THRESHOLD {
+            // Scan work drifted — rotation steps (width too narrow) or bucket
+            // scans (width too wide): re-derive the width from what is
+            // pending. Checked per pop, not per window, so a pathological
+            // span recalibrates immediately, not 1024 pops later.
+            if self.cal_len() >= 2 {
+                self.rebuild(self.buckets.len());
+            } else {
+                self.calib_pops = 0;
+                self.calib_scans = 0;
+            }
+        } else if self.calib_pops >= CALIB_WINDOW {
+            self.calib_pops = 0;
+            self.calib_scans = 0;
+        }
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 8 {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        (s.time, s.event)
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.time >= self.now, "event queue went back in time");
-        self.now = s.time;
-        Some((s.time, s.event))
+        let ix = self.find_next()?;
+        Some(self.commit_pop(ix))
     }
 
-    /// Drops every pending event and resets the clock to t = 0.
+    /// Pops the earliest event only if it fires at or before `horizon` — the
+    /// driver's one-touch replacement for a peek-then-pop pair. Returns `None`
+    /// with the event left in place when the head is beyond the horizon.
+    pub fn pop_if_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let ix = self.find_next()?;
+        if self.mins[ix].0 > horizon {
+            return None;
+        }
+        Some(self.commit_pop(ix))
+    }
+
+    /// Re-buckets the calendar tier into `new_buckets` buckets with a freshly
+    /// derived width. The far tier is untouched; calendar events past the new
+    /// (possibly shorter) span spill into it.
+    fn rebuild(&mut self, new_buckets: usize) {
+        let end_cap = self.cal_end;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        self.scratch = scratch;
+        self.rebuild_from_scratch(new_buckets, end_cap);
+    }
+
+    /// Empties the far tier into the staging buffer and rebuilds: the next
+    /// span's worth lands in buckets, the rest returns to `far`. Called by
+    /// `find_next` when the calendar drains, so its cost is amortized over
+    /// the span's pops.
+    fn migrate(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.append(&mut self.far);
+        self.far_min = EMPTY_MIN;
+        self.scratch = scratch;
+        self.rebuild_from_scratch(self.buckets.len(), u128::MAX);
+    }
+
+    /// Full rebuild around an event that lands before a span that cannot be
+    /// extended to cover it (rare: only after a migration jumped far ahead).
+    fn recenter(&mut self, s: Scheduled<E>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        scratch.append(&mut self.far);
+        self.far_min = EMPTY_MIN;
+        scratch.push(s);
+        self.scratch = scratch;
+        self.rebuild_from_scratch(self.buckets.len(), u128::MAX);
+    }
+
+    /// Core of every resize/recalibration/migration: distributes the staged
+    /// events into `new_buckets` buckets, re-deriving the width from the gaps
+    /// among the [`WIDTH_SAMPLE`] *earliest* staged events (Brown\'s
+    /// calibration: head-of-queue density sets the width — a far tail would
+    /// inflate it by orders of magnitude and collapse the head into one
+    /// bucket). The span anchors at `now` when the head still fits a year
+    /// from there (so fresh inserts stay in-span), else at the head itself;
+    /// `end_cap` bounds the new `cal_end` so pre-existing far events stay
+    /// beyond it. Events past the new span spill to `far`. Pop order is
+    /// untouched — the order is structural, and the sample is the set of k
+    /// smallest under the total `(time, seq)` order, so the width is a pure
+    /// function of the pending events. Existing allocations are reused, so
+    /// steady-state resizing settles to zero allocations.
+    fn rebuild_from_scratch(&mut self, new_buckets: usize, end_cap: u128) {
+        self.resizes += 1;
+        self.ops_since_rebuild = 0;
+        self.calib_pops = 0;
+        self.calib_scans = 0;
+        if new_buckets < self.buckets.len() {
+            self.buckets.truncate(new_buckets);
+        } else {
+            self.buckets.resize_with(new_buckets, Vec::new);
+        }
+        self.mins.clear();
+        self.mins.resize(new_buckets, EMPTY_MIN);
+        self.mask = new_buckets - 1;
+        let mut min_t: Option<u128> = None;
+        if !self.scratch.is_empty() {
+            self.key_scratch.clear();
+            self.key_scratch
+                .extend(self.scratch.iter().map(|s| (s.time.as_micros(), s.seq)));
+            let k = self.key_scratch.len().min(WIDTH_SAMPLE);
+            self.key_scratch.select_nth_unstable(k - 1);
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for &(t, _) in &self.key_scratch[..k] {
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            min_t = Some(lo as u128);
+            if k >= 2 {
+                // ~3 average near-head sample gaps per bucket — Brown\'s
+                // ratio, keeps head buckets short so pops stay O(1). (u128:
+                // a near-`SimTime::MAX` spread must not overflow.)
+                let near = (hi - lo) as u128 * 3 / (k as u128 - 1);
+                self.width = near.clamp(1, u64::MAX as u128) as u64;
+            }
+        }
+        let span = self.span();
+        let now_aligned = self.align_down(self.now.as_micros() as u128);
+        let anchor = match min_t {
+            None => now_aligned,
+            // Head times are never behind `now`, so `align_down(mt)` is the
+            // higher (but always progress-guaranteeing) anchor.
+            Some(mt) => {
+                if mt < now_aligned + span {
+                    now_aligned
+                } else {
+                    self.align_down(mt)
+                }
+            }
+        };
+        self.cal_start = anchor;
+        let mut new_end = anchor + span;
+        if new_end > end_cap {
+            if self.far.is_empty() {
+                // Nothing beyond the old ceiling — free to raise it.
+            } else if !self.scratch.is_empty() {
+                // The new span reaches past far events: fold the far tier into
+                // this rebuild so the ceiling can rise without stranding them
+                // (everything still past the new end spills right back).
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.append(&mut self.far);
+                self.far_min = EMPTY_MIN;
+                self.scratch = scratch;
+            } else {
+                // Empty calendar: keep the ceiling and let `migrate` re-derive
+                // the width from the far tier's own head instead.
+                new_end = end_cap;
+            }
+        }
+        self.cal_end = new_end;
+        debug_assert!(self.cal_end > self.cal_start);
+        let cursor_t = min_t.unwrap_or(anchor).max(anchor);
+        self.cur_bucket = self.bucket_of(cursor_t as u64);
+        self.cur_top = self.align_down(cursor_t) + self.width as u128;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for s in scratch.drain(..) {
+            if (s.time.as_micros() as u128) < self.cal_end {
+                self.place(s);
+            } else {
+                self.push_far(s);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Drops every pending event and resets the clock to t = 0, **keeping the
+    /// allocated storage**: the bucket array, each bucket\'s capacity, the far
+    /// tier\'s capacity, the staging buffers, and the calibrated width all
+    /// survive, so a pooled worker reusing one queue across seeds never
+    /// re-grows it.
     pub fn reset(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.mins.fill(EMPTY_MIN);
+        self.far.clear();
+        self.far_min = EMPTY_MIN;
+        self.len = 0;
+        self.cur_bucket = 0;
+        self.cur_top = self.width as u128;
+        self.cal_start = 0;
+        self.cal_end = self.span();
         self.next_seq = 0;
         self.now = SimTime::ZERO;
         self.scheduled_total = 0;
+        self.peak_depth = 0;
+        self.resizes = 0;
+        self.max_pop_scan = 0;
+        self.calib_pops = 0;
+        self.calib_scans = 0;
+        self.ops_since_rebuild = 0;
     }
 }
 
@@ -180,21 +739,26 @@ pub enum Control {
 ///
 /// `handler` receives each event together with the queue so it can schedule follow-up
 /// events. Events with `time > horizon` are left in the queue; the clock never
-/// advances past the last event actually processed.
+/// advances past the last event actually processed. One queue operation per event:
+/// the horizon check rides inside [`EventQueue::pop_if_at_or_before`].
 pub fn run_until<E>(
     queue: &mut EventQueue<E>,
     horizon: SimTime,
     mut handler: impl FnMut(SimTime, E, &mut EventQueue<E>) -> Control,
 ) -> RunOutcome {
     loop {
-        match queue.peek_time() {
-            None => return RunOutcome::Drained,
-            Some(t) if t > horizon => return RunOutcome::HorizonReached,
-            Some(_) => {
-                let (t, e) = queue.pop().expect("peeked event vanished");
+        match queue.pop_if_at_or_before(horizon) {
+            Some((t, e)) => {
                 if handler(t, e, queue) == Control::Stop {
                     return RunOutcome::Stopped;
                 }
+            }
+            None => {
+                return if queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::HorizonReached
+                };
             }
         }
     }
@@ -234,6 +798,44 @@ mod tests {
     }
 
     #[test]
+    fn a_full_instant_burst_stays_fifo_through_resizes() {
+        // 10k events at one instant all land in one bucket; growth resizes
+        // re-bucket them repeatedly and must never disturb the FIFO order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10_000u32 {
+            q.schedule_at(t, i);
+        }
+        assert!(q.telemetry().resizes > 0, "growth resizes expected");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_events_beyond_the_calendar_year_pop_in_order() {
+        // new() starts with 16 buckets of 1 ms: a 16 ms year. Events hours and
+        // days out exercise the fruitless-rotation → direct-search jump.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(86_400), "day");
+        q.schedule_at(SimTime::from_millis(1), "soon");
+        q.schedule_at(SimTime::from_secs(3_600), "hour");
+        q.schedule_at(SimTime::from_secs(5), "five");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["soon", "five", "hour", "day"]);
+    }
+
+    #[test]
+    fn simtime_max_events_are_representable() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::MAX, "end");
+        q.schedule_at(SimTime::from_secs(1), "start");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "start")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "end")));
+        assert_eq!(q.now(), SimTime::MAX);
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(5), ());
@@ -262,6 +864,32 @@ mod tests {
     }
 
     #[test]
+    fn pop_if_at_or_before_is_one_touch() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(3), "b");
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), "a"))
+        );
+        // Declined: the head stays queued and the clock does not move.
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        // A later insert behind the advanced cursor must still pop first.
+        q.schedule_at(SimTime::from_secs(2), "mid");
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::MAX),
+            Some((SimTime::from_secs(2), "mid"))
+        );
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::MAX),
+            Some((SimTime::from_secs(3), "b"))
+        );
+        assert_eq!(q.pop_if_at_or_before(SimTime::MAX), None);
+    }
+
+    #[test]
     fn run_until_respects_horizon() {
         let mut q = EventQueue::new();
         for s in 1..=10u64 {
@@ -275,6 +903,20 @@ mod tests {
         assert_eq!(outcome, RunOutcome::HorizonReached);
         assert_eq!(seen, vec![1, 2, 3, 4, 5]);
         assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn run_with_simtime_max_horizon_drains() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::MAX, "sentinel");
+        q.schedule_at(SimTime::from_secs(1), "first");
+        let mut seen = vec![];
+        let outcome = run_until(&mut q, SimTime::MAX, |_, e, _| {
+            seen.push(e);
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec!["first", "sentinel"]);
     }
 
     #[test]
@@ -321,5 +963,45 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.scheduled_total(), 0);
+    }
+
+    #[test]
+    fn reset_keeps_allocated_storage() {
+        // The pooled-replicate contract: a drained-and-reset queue re-runs the
+        // same workload without growing again.
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..5_000u64 {
+            q.schedule_at(SimTime::from_micros(i * 37 % 100_000), i);
+        }
+        let grown = q.telemetry();
+        let cap = q.storage_capacity();
+        assert!(grown.buckets > 16, "growth expected past the initial array");
+        assert!(cap >= 5_000, "buckets hold capacity for what was queued");
+        q.reset();
+        let after = q.telemetry();
+        assert_eq!(after.buckets, grown.buckets, "bucket array survives reset");
+        assert_eq!(after.width_us, grown.width_us, "calibration survives reset");
+        assert_eq!(q.storage_capacity(), cap, "bucket capacity survives reset");
+        assert_eq!(after.peak_depth, 0, "per-run telemetry is cleared");
+        assert_eq!(after.resizes, 0);
+        // The re-run schedules the same load without a single resize.
+        for i in 0..5_000u64 {
+            q.schedule_at(SimTime::from_micros(i * 37 % 100_000), i);
+        }
+        assert_eq!(q.telemetry().resizes, 0, "reset queue re-grew its storage");
+        assert_eq!(q.storage_capacity(), cap);
+    }
+
+    #[test]
+    fn telemetry_tracks_peak_and_scans() {
+        let mut q = EventQueue::new();
+        for s in 0..100u64 {
+            q.schedule_at(SimTime::from_secs(s), s);
+        }
+        assert_eq!(q.telemetry().peak_depth, 100);
+        while q.pop().is_some() {}
+        let t = q.telemetry();
+        assert!(t.max_pop_scan >= 1);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -7,17 +7,40 @@
 //! Hot-path design notes:
 //!
 //! * buckets store `(id, position)` pairs, so a range query touches no other
-//!   table — the per-candidate `positions` lookup a plain id bucket would need
+//!   table — the per-candidate position lookup a plain id bucket would need
 //!   was the query's dominant cost;
+//! * the bucket array is a **dense core grid** sized to the bounding box of the
+//!   tracked points (vehicles stay on the map), so the per-tick position update
+//!   and the 3×3 block scan index with plain arithmetic instead of hash probes;
+//!   cells outside the (capped) core grid spill into a sparse overflow map, so
+//!   pathological outliers cost memory proportional to occupancy, not area;
+//! * each id carries a slot record (cell + index within the bucket), so moving a
+//!   node is one lookup and one in-place write in the common same-cell case —
+//!   no linear bucket scan;
 //! * [`SpatialHash::for_each_within`] and [`SpatialHash::query_radius_into`]
 //!   visit candidates with zero allocation — the scratch-buffer form is what
 //!   the per-transmission paths use in steady state;
-//! * all maps hash with the vendored deterministic [`fxhash`] (seedless, so
-//!   runs stay reproducible; several times cheaper than SipHash on the small
-//!   integer keys used here).
+//! * the id-keyed maps hash with the vendored deterministic [`fxhash`]
+//!   (seedless, so runs stay reproducible; several times cheaper than SipHash
+//!   on the small integer keys used here).
 
 use crate::point::Point;
 use fxhash::FxHashMap;
+
+/// Core grid growth never exceeds this many cells; cells outside go to the
+/// sparse overflow map. 2^16 cells ≈ 1.5 MiB of bucket headers — at the radio
+/// cell size of 500 m that covers a 128 km × 128 km map, far beyond any
+/// scenario, while bounding memory against adversarial coordinates.
+const MAX_GRID_CELLS: i128 = 1 << 16;
+
+/// Where one tracked id currently lives: its cell coordinates and its index
+/// within that cell's bucket. Storage routing (core grid vs. overflow) is
+/// derived from the cell coordinates, so grid growth never rewrites slots.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    cell: (i64, i64),
+    idx: u32,
+}
 
 /// A spatial hash mapping integer keys (node ids) to positions.
 ///
@@ -25,8 +48,19 @@ use fxhash::FxHashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialHash {
     cell: f64,
-    buckets: FxHashMap<(i64, i64), Vec<(u64, Point)>>,
-    positions: FxHashMap<u64, Point>,
+    /// Dense row-major core grid; empty until the first insert.
+    grid: Vec<Vec<(u64, Point)>>,
+    /// Cell coordinates of `grid[0]`.
+    gx0: i64,
+    gy0: i64,
+    /// Grid dimensions in cells.
+    gw: i64,
+    gh: i64,
+    /// Non-empty core-grid cells (so `bucket_count` stays O(1)).
+    grid_live: usize,
+    /// Sparse buckets for cells outside the core grid; empty vecs are dropped.
+    overflow: FxHashMap<(i64, i64), Vec<(u64, Point)>>,
+    slots: FxHashMap<u64, Slot>,
 }
 
 impl SpatialHash {
@@ -52,8 +86,14 @@ impl SpatialHash {
         );
         SpatialHash {
             cell: cell_size,
-            buckets: fxhash::map_with_capacity(ids),
-            positions: fxhash::map_with_capacity(ids),
+            grid: Vec::new(),
+            gx0: 0,
+            gy0: 0,
+            gw: 0,
+            gh: 0,
+            grid_live: 0,
+            overflow: FxHashMap::default(),
+            slots: fxhash::map_with_capacity(ids),
         }
     }
 
@@ -64,56 +104,176 @@ impl SpatialHash {
         )
     }
 
+    /// Linear index of `k` in the core grid, if it falls inside it.
+    #[inline]
+    fn grid_linear(&self, k: (i64, i64)) -> Option<usize> {
+        let (x, y) = k;
+        if x >= self.gx0 && x < self.gx0 + self.gw && y >= self.gy0 && y < self.gy0 + self.gh {
+            Some(((y - self.gy0) * self.gw + (x - self.gx0)) as usize)
+        } else {
+            None
+        }
+    }
+
     /// Number of tracked ids.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.slots.len()
     }
 
     /// True if nothing is tracked.
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Number of live (non-empty) buckets; bounded by `len()` because empty
-    /// buckets are dropped on removal.
+    /// Number of live (non-empty) buckets; bounded by `len()` because overflow
+    /// buckets are dropped on removal and emptied grid cells are discounted.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.grid_live + self.overflow.len()
     }
 
     /// Current position of `id`, if tracked.
     pub fn position(&self, id: u64) -> Option<Point> {
-        self.positions.get(&id).copied()
+        let s = self.slots.get(&id)?;
+        Some(self.bucket(s.cell)[s.idx as usize].1)
+    }
+
+    /// The bucket for `k` (must exist).
+    #[inline]
+    fn bucket(&self, k: (i64, i64)) -> &Vec<(u64, Point)> {
+        match self.grid_linear(k) {
+            Some(l) => &self.grid[l],
+            None => self.overflow.get(&k).expect("tracked cell has a bucket"),
+        }
+    }
+
+    /// Mutable bucket for `k` (must exist).
+    #[inline]
+    fn bucket_mut(&mut self, k: (i64, i64)) -> &mut Vec<(u64, Point)> {
+        match self.grid_linear(k) {
+            Some(l) => &mut self.grid[l],
+            None => self
+                .overflow
+                .get_mut(&k)
+                .expect("tracked cell has a bucket"),
+        }
     }
 
     /// Inserts `id` at `p`, or moves it there if already tracked.
     pub fn upsert(&mut self, id: u64, p: Point) {
-        let new_key = self.key(p);
-        if let Some(old) = self.positions.insert(id, p) {
-            let old_key = self.key(old);
-            if old_key == new_key {
+        let nk = self.key(p);
+        if let Some(s) = self.slots.get(&id).copied() {
+            if s.cell == nk {
                 // Same bucket: update the stored position in place.
-                let bucket = self
-                    .buckets
-                    .get_mut(&new_key)
-                    .expect("tracked id has a bucket");
-                let slot = bucket
-                    .iter_mut()
-                    .find(|(i, _)| *i == id)
-                    .expect("tracked id is in its bucket");
-                slot.1 = p;
+                self.bucket_mut(nk)[s.idx as usize].1 = p;
                 return;
             }
-            remove_from_bucket(&mut self.buckets, old_key, id);
+            self.unlink(s);
         }
-        self.buckets.entry(new_key).or_default().push((id, p));
+        self.ensure_cell(nk);
+        let new_len = {
+            let b = self.bucket_mut(nk);
+            b.push((id, p));
+            b.len()
+        };
+        if new_len == 1 && self.grid_linear(nk).is_some() {
+            self.grid_live += 1;
+        }
+        let idx = (new_len - 1) as u32;
+        self.slots.insert(id, Slot { cell: nk, idx });
     }
 
     /// Removes `id`; returns its last position if it was tracked.
     pub fn remove(&mut self, id: u64) -> Option<Point> {
-        let p = self.positions.remove(&id)?;
-        let key = self.key(p);
-        remove_from_bucket(&mut self.buckets, key, id);
+        let s = self.slots.remove(&id)?;
+        let p = self.bucket(s.cell)[s.idx as usize].1;
+        self.unlink(s);
         Some(p)
+    }
+
+    /// Detaches the entry at `s` from its bucket (the classic swap-remove, with
+    /// the swapped-in entry's slot patched to its new index).
+    fn unlink(&mut self, s: Slot) {
+        let (moved, emptied) = {
+            let b = self.bucket_mut(s.cell);
+            b.swap_remove(s.idx as usize);
+            (b.get(s.idx as usize).map(|&(m, _)| m), b.is_empty())
+        };
+        if let Some(m) = moved {
+            self.slots.get_mut(&m).expect("tracked id has a slot").idx = s.idx;
+        }
+        if emptied {
+            if self.grid_linear(s.cell).is_some() {
+                self.grid_live -= 1;
+            } else {
+                self.overflow.remove(&s.cell);
+            }
+        }
+    }
+
+    /// Makes sure cell `k` has a bucket to push into: grows the core grid to
+    /// cover it when that stays within the cell cap, otherwise routes to the
+    /// overflow map.
+    fn ensure_cell(&mut self, k: (i64, i64)) {
+        if self.grid_linear(k).is_some() {
+            return;
+        }
+        // Proposed bounds: union of the current core box and `k`, with slack on
+        // every side so registration sweeps and map-edge traffic grow the grid
+        // O(log) times, not per insert.
+        let (mut x0, mut x1, mut y0, mut y1) = if self.gw == 0 {
+            (k.0, k.0 + 1, k.1, k.1 + 1)
+        } else {
+            (
+                self.gx0.min(k.0),
+                (self.gx0 + self.gw).max(k.0 + 1),
+                self.gy0.min(k.1),
+                (self.gy0 + self.gh).max(k.1 + 1),
+            )
+        };
+        let slack_x = ((x1 - x0) / 4).max(2);
+        let slack_y = ((y1 - y0) / 4).max(2);
+        x0 -= slack_x;
+        x1 += slack_x;
+        y0 -= slack_y;
+        y1 += slack_y;
+        let cells = (x1 - x0) as i128 * (y1 - y0) as i128;
+        if cells > MAX_GRID_CELLS {
+            // Outliers stay in the sparse tier; the core grid keeps its bounds.
+            self.overflow.entry(k).or_default();
+            return;
+        }
+        // Rebuild: move existing buckets to their new linear positions, then
+        // pull in any overflow cells the larger box now covers. Slots reference
+        // cell coordinates, not storage, so none of them change.
+        let (ow, ox0, oy0) = (self.gw, self.gx0, self.gy0);
+        let old = std::mem::take(&mut self.grid);
+        self.gx0 = x0;
+        self.gy0 = y0;
+        self.gw = x1 - x0;
+        self.gh = y1 - y0;
+        self.grid = (0..self.gw * self.gh).map(|_| Vec::new()).collect();
+        for (i, b) in old.into_iter().enumerate() {
+            if !b.is_empty() {
+                let cell = (ox0 + (i as i64 % ow), oy0 + (i as i64 / ow));
+                let l = self.grid_linear(cell).expect("grown grid covers old box");
+                self.grid[l] = b;
+            }
+        }
+        let absorbed: Vec<(i64, i64)> = self
+            .overflow
+            .keys()
+            .copied()
+            .filter(|&c| self.grid_linear(c).is_some())
+            .collect();
+        for cell in absorbed {
+            let b = self.overflow.remove(&cell).expect("key just listed");
+            if !b.is_empty() {
+                self.grid_live += 1;
+            }
+            let l = self.grid_linear(cell).expect("cell filtered as in-grid");
+            self.grid[l] = b;
+        }
+        debug_assert!(self.grid_linear(k).is_some());
     }
 
     /// Calls `f(id, position)` for every tracked id strictly within `radius` of
@@ -124,13 +284,17 @@ impl SpatialHash {
         let r_cells = (radius / self.cell).ceil() as i64;
         let (cx, cy) = self.key(center);
         let r_sq = radius * radius;
+        let over = !self.overflow.is_empty();
         for bx in (cx - r_cells)..=(cx + r_cells) {
             for by in (cy - r_cells)..=(cy + r_cells) {
-                if let Some(entries) = self.buckets.get(&(bx, by)) {
-                    for &(id, p) in entries {
-                        if center.distance_sq(p) < r_sq {
-                            f(id, p);
-                        }
+                let entries: &[(u64, Point)] = match self.grid_linear((bx, by)) {
+                    Some(l) => &self.grid[l],
+                    None if over => self.overflow.get(&(bx, by)).map_or(&[], |v| v),
+                    None => &[],
+                };
+                for &(id, p) in entries {
+                    if center.distance_sq(p) < r_sq {
+                        f(id, p);
                     }
                 }
             }
@@ -169,30 +333,18 @@ impl SpatialHash {
     /// Falls back to a full scan; use for infrequent queries (e.g. picking a cell
     /// leader), not per-packet work.
     pub fn nearest(&self, center: Point) -> Option<(u64, f64)> {
-        self.positions
-            .iter()
-            .map(|(&id, &p)| (id, center.distance(p)))
+        self.iter()
+            .map(|(id, p)| (id, center.distance(p)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
     }
 
     /// Iterates over all tracked `(id, position)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Point)> + '_ {
-        self.positions.iter().map(|(&id, &p)| (id, p))
-    }
-}
-
-fn remove_from_bucket(
-    buckets: &mut FxHashMap<(i64, i64), Vec<(u64, Point)>>,
-    key: (i64, i64),
-    id: u64,
-) {
-    if let Some(v) = buckets.get_mut(&key) {
-        if let Some(i) = v.iter().position(|&(x, _)| x == id) {
-            v.swap_remove(i);
-        }
-        if v.is_empty() {
-            buckets.remove(&key);
-        }
+        self.grid
+            .iter()
+            .chain(self.overflow.values())
+            .flatten()
+            .map(|&(id, p)| (id, p))
     }
 }
 
@@ -233,7 +385,7 @@ mod tests {
     #[test]
     fn upsert_within_bucket_updates_stored_position() {
         // Buckets carry (id, position) pairs; a small move inside one bucket
-        // must update the pair, not just the positions map.
+        // must update the pair, not just the slot record.
         let mut h = SpatialHash::new(100.0);
         h.upsert(1, Point::new(10.0, 10.0));
         h.upsert(1, Point::new(90.0, 90.0));
@@ -286,9 +438,36 @@ mod tests {
     }
 
     #[test]
+    fn position_tracks_latest_upsert() {
+        let mut h = SpatialHash::new(25.0);
+        assert_eq!(h.position(4), None);
+        h.upsert(4, Point::new(3.0, 4.0));
+        assert_eq!(h.position(4), Some(Point::new(3.0, 4.0)));
+        h.upsert(4, Point::new(400.0, -90.0));
+        assert_eq!(h.position(4), Some(Point::new(400.0, -90.0)));
+        assert_eq!(h.remove(4), Some(Point::new(400.0, -90.0)));
+        assert_eq!(h.position(4), None);
+    }
+
+    #[test]
+    fn far_outliers_use_the_sparse_tier() {
+        // Two points ~2·10^6 m apart would need an absurd dense grid; the cap
+        // routes the second one to the overflow map and queries still see it.
+        let mut h = SpatialHash::new(10.0);
+        h.upsert(1, Point::new(0.0, 0.0));
+        h.upsert(2, Point::new(1e6, 1e6));
+        assert_eq!(h.query_radius(Point::new(1e6, 1e6), 5.0), vec![2]);
+        assert_eq!(h.query_radius(Point::ORIGIN, 5.0), vec![1]);
+        assert_eq!(h.len(), 2);
+        // And it comes back if it wanders near the core region.
+        h.upsert(2, Point::new(5.0, 0.0));
+        assert_eq!(h.query_radius(Point::ORIGIN, 6.0), vec![1, 2]);
+    }
+
+    #[test]
     fn long_random_walk_keeps_bucket_count_bounded() {
-        // Empty buckets are dropped on removal, so however far vehicles roam,
-        // live buckets never exceed the number of tracked ids.
+        // Empty buckets are dropped (overflow) or discounted (grid), so however
+        // far vehicles roam, live buckets never exceed the number of tracked ids.
         let mut h = SpatialHash::new(100.0);
         let ids = 25u64;
         // A deterministic LCG walk spanning thousands of distinct cells.

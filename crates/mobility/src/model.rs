@@ -13,7 +13,6 @@ use crate::lights::TrafficLights;
 use crate::route::{choose_next_road, spawn_vehicles, RouteConfig};
 use crate::trips::{TripConfig, TripPlan};
 use crate::vehicle::{MoveSample, TurnEvent, VehicleState};
-use fxhash::FxHashMap;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use vanet_des::{SimDuration, SimTime};
@@ -62,10 +61,13 @@ pub struct MobilityModel {
     samples: Vec<MoveSample>,
     /// Per-vehicle trip plans (empty unless `cfg.trips` is set).
     plans: Vec<TripPlan>,
-    /// Scratch for the per-tick leader grouping: directed lane → (offset, index)
-    /// rows. Lane vectors are cleared, not dropped, so steady-state stepping
-    /// reuses their allocations.
-    lanes: FxHashMap<(RoadId, IntersectionId), Vec<(f64, usize)>>,
+    /// Scratch for the per-tick leader grouping, indexed by *directed lane*
+    /// (`road · 2 + direction`): dense, so grouping a vehicle is two array
+    /// indexings instead of a hash probe. Lane vectors are cleared, not
+    /// dropped, so steady-state stepping reuses their allocations.
+    lanes: Vec<Vec<(f64, usize)>>,
+    /// Directed lanes occupied this tick (the ones to clear next tick).
+    lanes_touched: Vec<u32>,
     /// Scratch for per-vehicle leader caps, reused across ticks.
     cap: Vec<f64>,
 }
@@ -80,7 +82,8 @@ impl MobilityModel {
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
-            lanes: FxHashMap::default(),
+            lanes: Vec::new(),
+            lanes_touched: Vec::new(),
             cap: Vec::with_capacity(n),
         }
     }
@@ -94,7 +97,8 @@ impl MobilityModel {
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
-            lanes: FxHashMap::default(),
+            lanes: Vec::new(),
+            lanes_touched: Vec::new(),
             cap: Vec::with_capacity(n),
         }
     }
@@ -166,20 +170,24 @@ impl MobilityModel {
         let dt = self.cfg.tick.as_secs_f64();
         // Leader constraint uses everyone's *old* offset: stable and order-free
         // (each vehicle sits in exactly one lane, so the `cap` writes below never
-        // collide and map iteration order cannot affect the result).
-        for lane in self.lanes.values_mut() {
-            lane.clear();
+        // collide and lane visit order cannot affect the result).
+        self.lanes.resize_with(net.road_count() * 2, Vec::new);
+        for &l in &self.lanes_touched {
+            self.lanes[l as usize].clear();
         }
+        self.lanes_touched.clear();
         for (i, v) in self.vehicles.iter().enumerate() {
-            self.lanes
-                .entry((v.road, v.from))
-                .or_default()
-                .push((v.offset, i));
+            let l = v.road.0 as usize * 2 + (v.from == net.road(v.road).a) as usize;
+            if self.lanes[l].is_empty() {
+                self.lanes_touched.push(l as u32);
+            }
+            self.lanes[l].push((v.offset, i));
         }
         // `cap[i]` = max offset vehicle i may reach this tick due to its leader.
         self.cap.clear();
         self.cap.resize(self.vehicles.len(), f64::INFINITY);
-        for lane in self.lanes.values_mut() {
+        for &l in &self.lanes_touched {
+            let lane = &mut self.lanes[l as usize];
             lane.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for w in lane.windows(2) {
                 let (leader_off, _) = w[0];

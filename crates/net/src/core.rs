@@ -58,6 +58,17 @@ pub struct Emission<P> {
     pub transport: Transport<P>,
 }
 
+/// Outcome of one GPSR routing decision — at most one follow-up, so the per-hop
+/// path never allocates.
+enum Routed<P> {
+    /// The packet is for the node it sits at: hand the payload up.
+    Arrived { class: PacketClass, payload: P },
+    /// One forwarding emission toward the next hop.
+    Forward(Emission<P>),
+    /// Dropped (loss, TTL, isolation, or no progress) — already counted.
+    Dropped,
+}
+
 /// The network façade.
 #[derive(Debug)]
 pub struct NetworkCore {
@@ -207,7 +218,15 @@ impl NetworkCore {
             class: class.index() as u8,
         });
         let header = GpsrHeader::new(target, dst_pos);
-        self.gpsr_process(from, header, class, size, payload)
+        match self.gpsr_process(from, header, class, size, payload) {
+            Routed::Arrived { class, payload } => vec![Emission {
+                delay: SimDuration::ZERO,
+                to: from,
+                transport: Transport::Local { class, payload },
+            }],
+            Routed::Forward(e) => vec![e],
+            Routed::Dropped => Vec::new(),
+        }
     }
 
     /// Routes (or accepts) a GPSR packet sitting at `at`.
@@ -223,7 +242,7 @@ impl NetworkCore {
         class: PacketClass,
         size: usize,
         payload: P,
-    ) -> Vec<Emission<P>> {
+    ) -> Routed<P> {
         use crate::counters::DropKind;
         use crate::gpsr::{gpsr_step_scratch, GpsrFailure};
 
@@ -243,13 +262,7 @@ impl NetworkCore {
             });
             match step {
                 GpsrStep::Arrived => {
-                    // Uniform path: deliver-to-self with zero delay so the harness's
-                    // single delivery handler sees every arrival.
-                    break vec![Emission {
-                        delay: SimDuration::ZERO,
-                        to: at,
-                        transport: Transport::Local { class, payload },
-                    }];
+                    break Routed::Arrived { class, payload };
                 }
                 GpsrStep::Forward { next, header: fwd } => {
                     let (pa, pb) = (self.registry.pos(at), self.registry.pos(next));
@@ -305,7 +318,7 @@ impl NetworkCore {
                                 class: class.index() as u8,
                                 cause: DropKind::Loss.index() as u8,
                             });
-                            break Vec::new();
+                            break Routed::Dropped;
                         }
                         continue; // reroute around the dead link
                     }
@@ -313,7 +326,7 @@ impl NetworkCore {
                     for _ in 0..attempts {
                         delay += self.radio.hop_delay(size, &mut self.rng);
                     }
-                    break vec![Emission {
+                    break Routed::Forward(Emission {
                         delay,
                         to: next,
                         transport: Transport::Gpsr {
@@ -322,7 +335,7 @@ impl NetworkCore {
                             size,
                             payload,
                         },
-                    }];
+                    });
                 }
                 GpsrStep::Fail(f) => {
                     let kind = match f {
@@ -337,7 +350,7 @@ impl NetworkCore {
                         class: class.index() as u8,
                         cause: kind.index() as u8,
                     });
-                    break Vec::new();
+                    break Routed::Dropped;
                 }
             }
         };
@@ -489,12 +502,13 @@ impl NetworkCore {
     }
 
     /// Processes a fired delivery. Returns the payload if this was the final hop
-    /// (for the protocol at `to`), plus any follow-up emissions (GPSR forwarding).
-    pub fn handle_deliver<P>(
+    /// (for the protocol at `to`), plus at most one follow-up emission (GPSR
+    /// forwarding) — so the per-event hot path allocates nothing.
+    pub fn handle_deliver_step<P>(
         &mut self,
         to: NodeId,
         transport: Transport<P>,
-    ) -> (Option<(PacketClass, P)>, Vec<Emission<P>>) {
+    ) -> (Option<(PacketClass, P)>, Option<Emission<P>>) {
         let start = PhaseTimings::ENABLED.then(std::time::Instant::now);
         let r = self.handle_deliver_inner(to, transport);
         if let Some(s) = start {
@@ -504,11 +518,23 @@ impl NetworkCore {
         r
     }
 
-    fn handle_deliver_inner<P>(
+    /// [`handle_deliver_step`](Self::handle_deliver_step) with the follow-up
+    /// lifted into a `Vec` — the allocating convenience form for tests and
+    /// small drain loops.
+    pub fn handle_deliver<P>(
         &mut self,
         to: NodeId,
         transport: Transport<P>,
     ) -> (Option<(PacketClass, P)>, Vec<Emission<P>>) {
+        let (arrived, more) = self.handle_deliver_step(to, transport);
+        (arrived, more.into_iter().collect())
+    }
+
+    fn handle_deliver_inner<P>(
+        &mut self,
+        to: NodeId,
+        transport: Transport<P>,
+    ) -> (Option<(PacketClass, P)>, Option<Emission<P>>) {
         match transport {
             Transport::Local { class, payload } => {
                 self.trace(|t| TraceEvent::Delivered {
@@ -516,7 +542,7 @@ impl NetworkCore {
                     node: to.0,
                     class: class.index() as u8,
                 });
-                (Some((class, payload)), Vec::new())
+                (Some((class, payload)), None)
             }
             Transport::Gpsr {
                 header,
@@ -524,30 +550,18 @@ impl NetworkCore {
                 size,
                 payload,
             } => {
-                // Re-run the routing decision at the new holder; arrival surfaces as
-                // a zero-delay Local emission, which we unwrap here directly.
-                let emissions = self.gpsr_process(to, header, class, size, payload);
-                match emissions.as_slice() {
-                    [Emission {
-                        to: t,
-                        transport: Transport::Local { .. },
-                        ..
-                    }] if *t == to => {
-                        let Some(Emission {
-                            transport: Transport::Local { class, payload },
-                            ..
-                        }) = emissions.into_iter().next()
-                        else {
-                            unreachable!("pattern matched above")
-                        };
+                // Re-run the routing decision at the new holder.
+                match self.gpsr_process(to, header, class, size, payload) {
+                    Routed::Arrived { class, payload } => {
                         self.trace(|t| TraceEvent::Delivered {
                             t,
                             node: to.0,
                             class: class.index() as u8,
                         });
-                        (Some((class, payload)), Vec::new())
+                        (Some((class, payload)), None)
                     }
-                    _ => (None, emissions),
+                    Routed::Forward(e) => (None, Some(e)),
+                    Routed::Dropped => (None, None),
                 }
             }
         }

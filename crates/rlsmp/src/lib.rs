@@ -95,11 +95,7 @@ mod protocol_tests {
         }
 
         fn drain_until(&mut self, horizon: SimTime) {
-            while let Some(t) = self.queue.peek_time() {
-                if t > horizon {
-                    break;
-                }
-                let (now, ev) = self.queue.pop().unwrap();
+            while let Some((now, ev)) = self.queue.pop_if_at_or_before(horizon) {
                 match ev {
                     Ev::Deliver(to, tr) => {
                         let (arrived, more) = self.core.handle_deliver(to, tr);
@@ -458,11 +454,7 @@ mod protocol_proptests {
         core: &mut NetworkCore,
         horizon: SimTime,
     ) {
-        while let Some(t) = queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, ev) = queue.pop().unwrap();
+        while let Some((now, ev)) = queue.pop_if_at_or_before(horizon) {
             match ev {
                 Ev::Deliver(to, tr) => {
                     let (arrived, more) = core.handle_deliver(to, tr);

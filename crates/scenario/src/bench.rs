@@ -66,6 +66,12 @@ pub struct BenchRecord {
     pub peak_queue_depth: u64,
     /// Heap allocations per event (only from `bench-alloc` builds).
     pub allocs_per_event: Option<f64>,
+    /// Calendar-queue bucket rebuilds summed across the scenario's runs
+    /// (absent in rows recorded before the calendar-queue kernel).
+    pub queue_resizes: Option<u64>,
+    /// Worst single-pop bucket scan across the scenario's runs (absent in
+    /// rows recorded before the calendar-queue kernel).
+    pub max_bucket_scan: Option<u64>,
 }
 
 impl BenchRecord {
@@ -75,10 +81,14 @@ impl BenchRecord {
             Some(a) => format!("{a:?}"),
             None => "null".to_string(),
         };
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"label\":\"{}\",\"scale\":\"{}\",\"scenario\":\"{}\",\"wall_ms\":{:?},\
              \"events\":{},\"events_per_sec\":{:?},\"peak_queue_depth\":{},\
-             \"allocs_per_event\":{}}}",
+             \"allocs_per_event\":{},\"queue_resizes\":{},\"max_bucket_scan\":{}}}",
             self.label,
             self.scale,
             self.scenario,
@@ -87,6 +97,8 @@ impl BenchRecord {
             self.events_per_sec,
             self.peak_queue_depth,
             allocs,
+            opt_u64(self.queue_resizes),
+            opt_u64(self.max_bucket_scan),
         )
     }
 
@@ -104,6 +116,8 @@ impl BenchRecord {
             events_per_sec: f64::NAN,
             peak_queue_depth: 0,
             allocs_per_event: None,
+            queue_resizes: None,
+            max_bucket_scan: None,
         };
         let mut required = 0u32;
         for field in body.split(',') {
@@ -131,6 +145,22 @@ impl BenchRecord {
                     };
                     continue; // optional: not counted toward `required`
                 }
+                "queue_resizes" => {
+                    rec.queue_resizes = if value == "null" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    };
+                    continue; // optional: not counted toward `required`
+                }
+                "max_bucket_scan" => {
+                    rec.max_bucket_scan = if value == "null" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    };
+                    continue; // optional: not counted toward `required`
+                }
                 _ => return None,
             }
             required += 1;
@@ -146,6 +176,8 @@ struct Measured {
     events: u64,
     peak_queue_depth: u64,
     allocs_per_event: Option<f64>,
+    queue_resizes: u64,
+    max_bucket_scan: u64,
 }
 
 /// Runs one scenario `reps` times, keeping the best wall time. The
@@ -160,6 +192,8 @@ fn measure(
     let mut events = 0u64;
     let mut peak = 0u64;
     let mut allocs_per_event = None;
+    let mut queue_resizes = 0u64;
+    let mut max_bucket_scan = 0u64;
     for rep in 0..opts.reps.max(1) {
         let allocs_before = opts.alloc_count.map(|f| f());
         let start = Instant::now();
@@ -174,6 +208,8 @@ fn measure(
         if rep == 0 {
             events = ev;
             peak = pk;
+            queue_resizes = reports.iter().map(|r| r.queue_resizes).sum();
+            max_bucket_scan = reports.iter().map(|r| r.queue_max_scan).max().unwrap_or(0);
             if let (Some(before), Some(f)) = (allocs_before, opts.alloc_count) {
                 let delta = f().saturating_sub(before);
                 allocs_per_event = Some(delta as f64 / ev.max(1) as f64);
@@ -190,6 +226,8 @@ fn measure(
         events,
         peak_queue_depth: peak,
         allocs_per_event,
+        queue_resizes,
+        max_bucket_scan,
     }
 }
 
@@ -250,6 +288,8 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                 },
                 peak_queue_depth: m.peak_queue_depth,
                 allocs_per_event: m.allocs_per_event,
+                queue_resizes: Some(m.queue_resizes),
+                max_bucket_scan: Some(m.max_bucket_scan),
             }
         })
         .collect()
@@ -358,6 +398,8 @@ mod tests {
             events_per_sec: 80000.5,
             peak_queue_depth: 321,
             allocs_per_event: allocs,
+            queue_resizes: None,
+            max_bucket_scan: None,
         }
     }
 
@@ -367,6 +409,22 @@ mod tests {
             let r = rec("pr3-baseline", "figure_sweep", allocs);
             assert_eq!(BenchRecord::parse_line(&r.to_json()), Some(r));
         }
+        let mut r = rec("pr4-post", "figure_sweep", None);
+        r.queue_resizes = Some(3);
+        r.max_bucket_scan = Some(17);
+        assert_eq!(BenchRecord::parse_line(&r.to_json()), Some(r));
+    }
+
+    #[test]
+    fn pre_calendar_rows_without_telemetry_keys_still_parse() {
+        // Rows recorded before the calendar-queue kernel lack the telemetry
+        // keys entirely; they must keep parsing (fields default to `None`).
+        let line = "{\"label\":\"pr3-post\",\"scale\":\"smoke\",\"scenario\":\"figure_sweep\",\
+                    \"wall_ms\":100.0,\"events\":10,\"events_per_sec\":100.0,\
+                    \"peak_queue_depth\":5,\"allocs_per_event\":null}";
+        let r = BenchRecord::parse_line(line).expect("legacy row parses");
+        assert_eq!(r.queue_resizes, None);
+        assert_eq!(r.max_bucket_scan, None);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct RunReport {
     pub events_processed: u64,
     /// Largest number of pending events observed in the queue at any point.
     pub peak_queue_depth: usize,
+    /// Calendar-queue bucket-array rebuilds triggered during the run (resize +
+    /// width recalibration; 0 means the initial sizing was already right).
+    pub queue_resizes: u64,
+    /// Longest bucket-rotation scan any single pop performed (the calendar
+    /// queue's worst case; ~1 when bucket width matches the event density).
+    pub queue_max_scan: u64,
 }
 
 /// One DES hot phase's aggregated wall-clock cost.
@@ -159,6 +165,8 @@ impl RunReport {
             phase_timings: Vec::new(),
             events_processed: 0,
             peak_queue_depth: 0,
+            queue_resizes: 0,
+            queue_max_scan: 0,
         }
     }
 

@@ -374,7 +374,7 @@ fn drive<L: LocationService>(
     // events per vehicle covers the observed peaks with headroom).
     let tick_count = (cfg.duration.as_micros() / cfg.mobility.tick.as_micros().max(1)) as usize;
     let mut queue: EventQueue<Ev<L::Payload, L::Timer>> =
-        EventQueue::with_capacity(tick_count + cfg.vehicles * 32 + 64);
+        EventQueue::with_capacity_and_horizon(tick_count + cfg.vehicles * 32 + 64, cfg.duration);
     let mut mob_rng = stream_rng(cfg.seed, StreamId::Mobility);
     let mut query_rng = stream_rng(cfg.seed, StreamId::Queries);
 
@@ -419,10 +419,7 @@ fn drive<L: LocationService>(
         peak_queue_depth = peak_queue_depth.max(queue.len());
         let popped = core
             .timings
-            .time(Phase::EventPop, || match queue.peek_time() {
-                Some(t) if t <= horizon => queue.pop(),
-                _ => None,
-            });
+            .time(Phase::EventPop, || queue.pop_if_at_or_before(horizon));
         let Some((now, ev)) = popped else { break };
         events_processed += 1;
         core.set_trace_now(now);
@@ -465,8 +462,9 @@ fn drive<L: LocationService>(
                 let pending = check
                     .as_mut()
                     .map(|cs| cs.oracle.pre_deliver(&transport, &core.counters));
-                // `handle_deliver` times itself under `Phase::RadioDelivery`.
-                let (arrived, more) = core.handle_deliver(to, transport);
+                // `handle_deliver_step` times itself under `Phase::RadioDelivery`;
+                // the at-most-one follow-up keeps this arm allocation-free.
+                let (arrived, more) = core.handle_deliver_step(to, transport);
                 // `post_deliver` ledgers the followup emissions itself.
                 #[cfg(feature = "check")]
                 if let Some(cs) = check.as_mut() {
@@ -475,10 +473,10 @@ fn drive<L: LocationService>(
                         to,
                         pending.expect("pre_deliver snapshot exists"),
                         arrived.is_some(),
-                        &more,
+                        more.as_slice(),
                     );
                 }
-                for e in more {
+                if let Some(e) = more {
                     queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport));
                 }
                 if let Some((class, payload)) = arrived {
@@ -520,6 +518,9 @@ fn drive<L: LocationService>(
         }
     }
 
+    // Queue self-telemetry, snapshotted before the check-mode drain below can
+    // perturb the scan counters.
+    let queue_stats = queue.telemetry();
     // End of run: packet conservation over the drained queue, then
     // trace/counter reconciliation if a complete trace rode along.
     #[cfg(feature = "check")]
@@ -563,6 +564,8 @@ fn drive<L: LocationService>(
     report.phase_timings = core.timings.summary().into_iter().map(Into::into).collect();
     report.events_processed = events_processed;
     report.peak_queue_depth = peak_queue_depth;
+    report.queue_resizes = queue_stats.resizes;
+    report.queue_max_scan = queue_stats.max_pop_scan;
     (report, core.take_tracer())
 }
 

@@ -640,12 +640,16 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
     let records = run_bench(&opts, &label);
     for r in &records {
         println!(
-            "{:<14} {:>10.1} ms  {:>9} events  {:>11.0} events/s  peak queue {:>6}{}",
+            "{:<14} {:>10.1} ms  {:>9} events  {:>11.0} events/s  peak queue {:>6}{}{}",
             r.scenario,
             r.wall_ms,
             r.events,
             r.events_per_sec,
             r.peak_queue_depth,
+            match (r.queue_resizes, r.max_bucket_scan) {
+                (Some(rs), Some(scan)) => format!("  {rs} resizes  max scan {scan}"),
+                _ => String::new(),
+            },
             match r.allocs_per_event {
                 Some(a) => format!("  {a:.1} allocs/event"),
                 None => String::new(),
