@@ -1045,6 +1045,38 @@ impl LocationService for HlsrgProtocol {
         ]
     }
 
+    fn table_sizes(&self) -> [u64; 3] {
+        [
+            self.l1_tables.iter().map(|t| t.len() as u64).sum(),
+            self.l2_tables.iter().map(|t| t.len() as u64).sum(),
+            self.l3_tables.iter().map(|t| t.len() as u64).sum(),
+        ]
+    }
+
+    fn region_entries(&self, out: &mut [u64]) {
+        // Every table is homed at a grid whose containing L3 region is fixed
+        // by the partition geometry, so per-region load is a pure fold.
+        for (i, t) in self.l3_tables.iter().enumerate() {
+            if let Some(slot) = out.get_mut(i) {
+                *slot += t.len() as u64;
+            }
+        }
+        for (i, t) in self.l2_tables.iter().enumerate() {
+            let l3 = self.partition.l2_to_l3(L2Id(i as u32));
+            if let Some(slot) = out.get_mut(l3.0 as usize) {
+                *slot += t.len() as u64;
+            }
+        }
+        for (i, t) in self.l1_tables.iter().enumerate() {
+            let l3 = self
+                .partition
+                .l2_to_l3(self.partition.l1_to_l2(L1Id(i as u32)));
+            if let Some(slot) = out.get_mut(l3.0 as usize) {
+                *slot += t.len() as u64;
+            }
+        }
+    }
+
     /// Location-table soundness (`check` feature): every L1 entry sits in the
     /// table of the grid it was addressed to, its position maps back to that
     /// grid, and it has not drifted beyond the staleness bound of the vehicle's

@@ -374,6 +374,34 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Schedules one `make()` event at every multiple of `period` from the
+    /// current time: at `period, 2·period, …` strictly before `end`, plus at
+    /// `end` itself when `inclusive`. This is the sampler hook — mobility
+    /// ticks, timeline samples, and telemetry samplers are all ordinary
+    /// events laid down up front, so their firing times (and therefore any
+    /// output derived from them) are a pure function of the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn schedule_periodic(
+        &mut self,
+        period: SimDuration,
+        end: SimTime,
+        inclusive: bool,
+        mut make: impl FnMut() -> E,
+    ) {
+        assert!(period > SimDuration::ZERO, "periodic events need a period");
+        let mut t = self.now + period;
+        while t < end {
+            self.schedule_at(t, make());
+            t += period;
+        }
+        if inclusive && t == end {
+            self.schedule_at(t, make());
+        }
+    }
+
     /// Appends to the far tier, maintaining its cached minimum.
     #[inline]
     fn push_far(&mut self, s: Scheduled<E>) {
@@ -784,6 +812,55 @@ mod tests {
         q.schedule_at(SimTime::from_secs(2), "b");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn schedule_periodic_lays_down_every_multiple() {
+        // Exclusive end: 10 s / 3 s → samples at 3, 6, 9 only.
+        let mut q = EventQueue::new();
+        q.schedule_periodic(
+            SimDuration::from_secs(3),
+            SimTime::from_secs(10),
+            false,
+            || "s",
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![3, 6, 9]);
+        // Inclusive end landing exactly on a multiple: 9 s / 3 s → 3, 6, 9.
+        let mut q = EventQueue::new();
+        q.schedule_periodic(
+            SimDuration::from_secs(3),
+            SimTime::from_secs(9),
+            true,
+            || "s",
+        );
+        assert_eq!(q.len(), 3);
+        // Exclusive end on an exact multiple drops the boundary sample.
+        let mut q = EventQueue::new();
+        q.schedule_periodic(
+            SimDuration::from_secs(3),
+            SimTime::from_secs(9),
+            false,
+            || "s",
+        );
+        assert_eq!(q.len(), 2);
+        // A period longer than the horizon schedules nothing.
+        let mut q = EventQueue::<&str>::new();
+        q.schedule_periodic(
+            SimDuration::from_secs(30),
+            SimTime::from_secs(9),
+            true,
+            || "s",
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a period")]
+    fn schedule_periodic_rejects_zero_period() {
+        EventQueue::new().schedule_periodic(SimDuration::ZERO, SimTime::from_secs(1), true, || ());
     }
 
     #[test]

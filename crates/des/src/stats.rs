@@ -162,6 +162,33 @@ impl Histogram {
         }
     }
 
+    /// Removes one previously recorded observation, using the same bucket
+    /// mapping as [`Self::record`]. This is what makes a *windowed* histogram
+    /// possible: a sliding-window quantile estimator records arrivals and
+    /// removes expirations, keeping the bucket counts equal to a histogram
+    /// built from only the live window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value's bucket is empty — removing something that was
+    /// never recorded is a caller bug, not a degraded estimate.
+    pub fn remove(&mut self, x: f64) {
+        assert!(self.total > 0, "removing from an empty histogram");
+        self.total -= 1;
+        let slot = if x < 0.0 {
+            &mut self.counts[0]
+        } else {
+            let idx = (x / self.bin_width) as usize;
+            if idx < self.counts.len() {
+                &mut self.counts[idx]
+            } else {
+                &mut self.overflow
+            }
+        };
+        assert!(*slot > 0, "removing a value that was never recorded: {x}");
+        *slot -= 1;
+    }
+
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.total
@@ -356,6 +383,40 @@ mod tests {
         let mut a = Histogram::new(1.0, 3);
         a.merge(&Histogram::new(2.0, 3));
     }
+
+    #[test]
+    fn remove_inverts_record() {
+        let mut h = Histogram::new(1.0, 4);
+        for x in [-0.5, 0.5, 2.2, 7.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.overflow(), 1);
+        // Remove everything in a different order; every bucket returns to zero.
+        for x in [7.0, -0.5, 2.2, 0.5] {
+            h.remove(x);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+        for i in 0..h.buckets() {
+            assert_eq!(h.bucket(i), 0);
+        }
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn remove_of_unrecorded_bucket_panics() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(0.5);
+        h.remove(3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn remove_from_empty_panics() {
+        Histogram::new(1.0, 4).remove(0.5);
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +501,33 @@ mod proptests {
             let mut h = Histogram::new(1.0, 4);
             h.merge(&Histogram::new(1.0, 4));
             prop_assert_eq!(h.quantile(q), None);
+        }
+
+        /// Recording a stream and then removing an arbitrary prefix leaves
+        /// exactly the histogram of the suffix — `remove` is `record`'s
+        /// inverse under any interleaving a sliding window can produce.
+        #[test]
+        fn histogram_remove_is_records_inverse(
+            xs in proptest::collection::vec(-2.0f64..30.0, 1..60),
+            split in 0usize..60,
+        ) {
+            let split = split.min(xs.len());
+            let mut live = Histogram::new(0.5, 40);
+            for &x in &xs {
+                live.record(x);
+            }
+            for &x in &xs[..split] {
+                live.remove(x);
+            }
+            let mut expect = Histogram::new(0.5, 40);
+            for &x in &xs[split..] {
+                expect.record(x);
+            }
+            prop_assert_eq!(live.count(), expect.count());
+            prop_assert_eq!(live.overflow(), expect.overflow());
+            for i in 0..live.buckets() {
+                prop_assert_eq!(live.bucket(i), expect.bucket(i));
+            }
         }
     }
 }

@@ -85,6 +85,12 @@ impl SimTime {
     pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
+
+    /// The instant `d` before this one, saturating to the timeline origin.
+    #[inline]
+    pub const fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
 }
 
 impl SimDuration {
@@ -277,6 +283,16 @@ mod tests {
         let b = SimTime::from_secs(2);
         assert_eq!(b.saturating_since(a), SimDuration::from_secs(1));
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_origin() {
+        let t = SimTime::from_secs(5);
+        assert_eq!(
+            t.saturating_sub(SimDuration::from_secs(2)),
+            SimTime::from_secs(3)
+        );
+        assert_eq!(t.saturating_sub(SimDuration::from_secs(9)), SimTime::ZERO);
     }
 
     #[test]

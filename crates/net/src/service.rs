@@ -103,6 +103,21 @@ pub trait LocationService {
         Vec::new()
     }
 
+    /// Telemetry hook: total location-table entries per grid level
+    /// `[L1, L2, L3]`. Flat-grid protocols map their own tiers into the
+    /// lowest slots and leave the rest zero.
+    fn table_sizes(&self) -> [u64; 3] {
+        [0; 3]
+    }
+
+    /// Telemetry hook: location-table entries homed at each L3 region's
+    /// infrastructure, written into `out[region_id]` (the sampler sizes and
+    /// zeroes `out` beforehand). Protocols without a region hierarchy leave
+    /// `out` untouched.
+    fn region_entries(&self, out: &mut [u64]) {
+        let _ = out;
+    }
+
     /// Invariant hook (`check` feature): audits the protocol's internal state —
     /// chiefly location-table soundness against the registry's ground-truth
     /// positions, where no stored position may drift more than

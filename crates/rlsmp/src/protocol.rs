@@ -679,6 +679,16 @@ impl LocationService for RlsmpProtocol {
         ]
     }
 
+    fn table_sizes(&self) -> [u64; 3] {
+        // RLSMP's flat grid has two tiers: cell-leader tables and LSC tables.
+        // They map to the two lowest telemetry slots; there is no third level.
+        [
+            self.cell_tables.iter().map(|t| t.len() as u64).sum(),
+            self.lsc_tables.iter().map(|t| t.len() as u64).sum(),
+            0,
+        ]
+    }
+
     /// Location-table soundness (`check` feature): every cell-leader entry maps
     /// back to the cell whose table holds it and stays within the staleness
     /// bound of the vehicle's ground-truth position; LSC entries carry sane

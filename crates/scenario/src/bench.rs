@@ -384,6 +384,75 @@ pub fn append_trajectory(
     Ok(records)
 }
 
+/// One scenario's baseline-vs-current throughput comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Sweep scale the pair was measured at.
+    pub scale: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Baseline events/sec (newest row with the baseline label).
+    pub baseline_eps: f64,
+    /// Current events/sec (newest row overall).
+    pub current_eps: f64,
+    /// `(current − baseline) / baseline`, in percent; negative is slower.
+    pub delta_pct: f64,
+    /// True when the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Diffs the newest record of every `(scale, scenario)` pair against the
+/// newest record carrying `baseline_label`, flagging any events/sec drop
+/// beyond `threshold_pct` percent. Pairs measured only at the baseline (or
+/// only currently) are skipped — a missing counterpart is not a regression.
+/// Errors when the baseline label matches no record at all.
+pub fn compare_trajectory(
+    records: &[BenchRecord],
+    baseline_label: &str,
+    threshold_pct: f64,
+) -> Result<Vec<CompareRow>, String> {
+    if !records.iter().any(|r| r.label == baseline_label) {
+        return Err(format!(
+            "baseline label {baseline_label:?} matches no trajectory record"
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for r in records {
+        let key = (r.scale.as_str(), r.scenario.as_str());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        // Newest-wins on both sides: the last baseline-labeled row is the
+        // baseline, the last row of any label is the current measurement.
+        let baseline = records
+            .iter()
+            .rev()
+            .find(|b| b.label == baseline_label && (b.scale.as_str(), b.scenario.as_str()) == key);
+        let current = records
+            .iter()
+            .rev()
+            .find(|c| (c.scale.as_str(), c.scenario.as_str()) == key)
+            .expect("key came from this record set");
+        let Some(baseline) = baseline else { continue };
+        if std::ptr::eq(baseline, current) {
+            continue; // nothing measured since the baseline
+        }
+        let delta_pct =
+            (current.events_per_sec - baseline.events_per_sec) / baseline.events_per_sec * 100.0;
+        rows.push(CompareRow {
+            scale: r.scale.clone(),
+            scenario: r.scenario.clone(),
+            baseline_eps: baseline.events_per_sec,
+            current_eps: current.events_per_sec,
+            delta_pct,
+            regressed: delta_pct < -threshold_pct,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +532,63 @@ mod tests {
         let reparsed = parse_trajectory(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(reparsed, all);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn rec_eps(label: &str, scenario: &str, eps: f64) -> BenchRecord {
+        BenchRecord {
+            events_per_sec: eps,
+            ..rec(label, scenario, None)
+        }
+    }
+
+    #[test]
+    fn compare_flags_injected_regression_past_threshold() {
+        // The acceptance case: an injected >20% events/sec regression on one
+        // scenario must trip the gate; a mild dip and an improvement must not.
+        let records = vec![
+            rec_eps("pr6-baseline", "figure_sweep", 100_000.0),
+            rec_eps("pr6-baseline", "hlsrg_single", 50_000.0),
+            rec_eps("pr6-baseline", "rlsmp_single", 40_000.0),
+            rec_eps("dev", "figure_sweep", 70_000.0), // −30%: regression
+            rec_eps("dev", "hlsrg_single", 45_000.0), // −10%: within threshold
+            rec_eps("dev", "rlsmp_single", 48_000.0), // +20%: improvement
+        ];
+        let rows = compare_trajectory(&records, "pr6-baseline", 20.0).unwrap();
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.scenario == n).unwrap();
+        assert!(by_name("figure_sweep").regressed);
+        assert!((by_name("figure_sweep").delta_pct - -30.0).abs() < 1e-9);
+        assert!(!by_name("hlsrg_single").regressed);
+        assert!(!by_name("rlsmp_single").regressed);
+        assert!(by_name("rlsmp_single").delta_pct > 0.0);
+    }
+
+    #[test]
+    fn compare_uses_newest_rows_on_both_sides() {
+        let records = vec![
+            rec_eps("base", "s", 10_000.0),  // stale baseline
+            rec_eps("base", "s", 100_000.0), // newest baseline wins
+            rec_eps("dev", "s", 60_000.0),   // stale current
+            rec_eps("dev", "s", 90_000.0),   // newest current wins
+        ];
+        let rows = compare_trajectory(&records, "base", 20.0).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].baseline_eps, 100_000.0);
+        assert_eq!(rows[0].current_eps, 90_000.0);
+        assert!(!rows[0].regressed, "−10% is within a 20% threshold");
+    }
+
+    #[test]
+    fn compare_skips_unpaired_scenarios_and_rejects_unknown_labels() {
+        let records = vec![
+            rec_eps("base", "only_baseline", 10_000.0),
+            rec_eps("dev", "only_current", 20_000.0),
+        ];
+        // `only_baseline`'s newest row IS the baseline row → skipped;
+        // `only_current` has no baseline → skipped.
+        let rows = compare_trajectory(&records, "base", 20.0).unwrap();
+        assert!(rows.is_empty());
+        assert!(compare_trajectory(&records, "no-such-label", 20.0).is_err());
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct SimConfig {
     /// Whether HLSRG's RSUs get their wired backbone (ablation knob; RSUs still
     /// exist and have radios when false, but wired transfers fail).
     pub wired_backbone: bool,
+    /// When set, the run arms the telemetry sampler at this interval: one
+    /// [`vanet_trace::TelemetrySample`] per interval multiple (plus a final
+    /// end-of-run sample), scheduled as ordinary DES events so the stream is
+    /// byte-identical across same-seed runs.
+    pub telemetry_interval: Option<SimDuration>,
     /// When set, the run samples protocol diagnostics and cumulative counters at
     /// this period into [`crate::metrics::RunReport::timeline`].
     pub timeline_period: Option<SimDuration>,
@@ -95,6 +100,7 @@ impl SimConfig {
             hlsrg: HlsrgConfig::default(),
             rlsmp: RlsmpConfig::default(),
             wired_backbone: true,
+            telemetry_interval: None,
             timeline_period: None,
         }
     }
@@ -137,6 +143,9 @@ impl SimConfig {
             }
         }
         assert!(self.l1_size > 0.0, "positive L1 size required");
+        if let Some(iv) = self.telemetry_interval {
+            assert!(!iv.is_zero(), "telemetry interval must be positive");
+        }
     }
 }
 

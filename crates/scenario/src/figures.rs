@@ -101,19 +101,25 @@ impl Figure {
         sum / self.points.len() as f64
     }
 
-    /// The figure's two series as a terminal chart.
-    pub fn to_ascii_chart(&self) -> String {
-        let h: Vec<(f64, f64)> = self
+    /// The figure's two labeled series (HLSRG, RLSMP) in plot form, shared by
+    /// the ASCII and SVG chart backends.
+    pub fn series(&self) -> [(&'static str, Vec<(f64, f64)>); 2] {
+        let h = self
             .points
             .iter()
             .map(|p| (p.x, self.y(&p.hlsrg)))
             .collect();
-        let r: Vec<(f64, f64)> = self
+        let r = self
             .points
             .iter()
             .map(|p| (p.x, self.y(&p.rlsmp)))
             .collect();
-        crate::plot::ascii_chart(&[("HLSRG", h), ("RLSMP", r)], 52, 12)
+        [("HLSRG", h), ("RLSMP", r)]
+    }
+
+    /// The figure's two series as a terminal chart.
+    pub fn to_ascii_chart(&self) -> String {
+        crate::plot::ascii_chart(&self.series(), 52, 12)
     }
 
     /// The figure's series as CSV (header + one row per sweep point), ready for

@@ -27,15 +27,20 @@ pub mod metrics;
 pub mod plot;
 pub mod pool;
 pub mod replicate;
+pub mod report;
 pub mod runner;
 
-pub use bench::{append_trajectory, parse_trajectory, run_bench, BenchOptions, BenchRecord};
+pub use bench::{
+    append_trajectory, compare_trajectory, parse_trajectory, run_bench, BenchOptions, BenchRecord,
+    CompareRow,
+};
 pub use config::{Protocol, SimConfig};
 pub use figures::{fig3_2, fig3_3, fig3_345, fig3_4, fig3_5, ComparisonPoint, Figure, FigureScale};
 pub use metrics::{AveragedReport, PhaseTimingRow, RunReport, TimelinePoint};
-pub use plot::ascii_chart;
+pub use plot::{ascii_chart, svg_chart};
 pub use pool::JobPool;
 pub use replicate::{replicate, replicate_averaged, replicate_batch, replicate_with_threads};
-pub use runner::{run_simulation, run_simulation_traced};
+pub use report::{render_report, ReportInputs};
+pub use runner::{run_simulation, run_simulation_instrumented, run_simulation_traced};
 #[cfg(feature = "check")]
 pub use runner::{run_simulation_checked, CheckSetup, Violation};

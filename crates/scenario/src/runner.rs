@@ -22,7 +22,9 @@ use vanet_net::{
     Effect, LocationService, NetworkCore, NodeId, NodeRegistry, Transport, WiredNetwork,
 };
 use vanet_roadnet::{generate_grid, Partition, RoadNetwork};
-use vanet_trace::{Phase, Tracer, DEFAULT_RING_CAPACITY};
+use vanet_trace::{
+    Phase, TelemetrySample, TelemetrySampler, TelemetrySnapshot, Tracer, DEFAULT_RING_CAPACITY,
+};
 
 #[cfg(feature = "check")]
 pub use vanet_check::Violation;
@@ -100,6 +102,8 @@ enum Ev<P, T> {
     Query(VehicleId, VehicleId),
     /// Take a timeline sample.
     Sample,
+    /// Take a telemetry sample.
+    Telemetry,
 }
 
 /// The run's vehicle source: the native kinematic model or an ns-2 trace replay.
@@ -153,7 +157,7 @@ impl MobilitySource {
 // `CheckArg` is `()` without the `check` feature, hence the unit-arg allow.
 #[allow(clippy::unit_arg)]
 pub fn run_simulation(cfg: &SimConfig, protocol: Protocol) -> RunReport {
-    run_simulation_impl(cfg, protocol, None, Default::default()).0
+    run_simulation_full(cfg, protocol, None, Default::default()).0
 }
 
 /// Runs one simulation with a structured event trace attached, returning the
@@ -161,11 +165,27 @@ pub fn run_simulation(cfg: &SimConfig, protocol: Protocol) -> RunReport {
 #[allow(clippy::unit_arg)]
 pub fn run_simulation_traced(cfg: &SimConfig, protocol: Protocol) -> (RunReport, Tracer) {
     let tracer = Box::new(Tracer::new(DEFAULT_RING_CAPACITY));
-    let (report, tracer) = run_simulation_impl(cfg, protocol, Some(tracer), Default::default());
+    let (report, tracer, _) = run_simulation_full(cfg, protocol, Some(tracer), Default::default());
     (
         report,
         *tracer.expect("tracer installed before the run survives it"),
     )
+}
+
+/// Runs one simulation with the telemetry sampler armed (requires
+/// `cfg.telemetry_interval`), optionally with an event trace riding along.
+/// Returns the report, the tracer (when requested), and the telemetry time
+/// series — one [`TelemetrySample`] per sampling tick plus a final end-of-run
+/// sample at `cfg.duration` that reconciles exactly with the report counters.
+#[allow(clippy::unit_arg)]
+pub fn run_simulation_instrumented(
+    cfg: &SimConfig,
+    protocol: Protocol,
+    with_trace: bool,
+) -> (RunReport, Option<Tracer>, Vec<TelemetrySample>) {
+    let tracer = with_trace.then(|| Box::new(Tracer::new(DEFAULT_RING_CAPACITY)));
+    let (report, tracer, samples) = run_simulation_full(cfg, protocol, tracer, Default::default());
+    (report, tracer.map(|t| *t), samples)
 }
 
 /// Runs one simulation with the invariant oracle armed (`check` feature),
@@ -180,16 +200,16 @@ pub fn run_simulation_checked(
 ) -> (RunReport, Option<Violation>) {
     let tracer = setup.trace_ring.map(|cap| Box::new(Tracer::new(cap)));
     let mut violation = None;
-    let (report, _) = run_simulation_impl(cfg, protocol, tracer, Some((setup, &mut violation)));
+    let (report, _, _) = run_simulation_full(cfg, protocol, tracer, Some((setup, &mut violation)));
     (report, violation)
 }
 
-fn run_simulation_impl(
+fn run_simulation_full(
     cfg: &SimConfig,
     protocol: Protocol,
     tracer: Option<Box<Tracer>>,
     check: CheckArg<'_>,
-) -> (RunReport, Option<Box<Tracer>>) {
+) -> (RunReport, Option<Box<Tracer>>, Vec<TelemetrySample>) {
     let mut map_rng = stream_rng(cfg.seed, StreamId::MapGen);
     let net = match &cfg.map_text {
         Some(text) => vanet_roadnet::from_map_text(text).expect("invalid map_text"),
@@ -297,7 +317,7 @@ fn run_simulation_impl(
             proto.reserve_vehicles(cfg.vehicles);
             let deadline = cfg.hlsrg.query_deadline;
             drive(
-                cfg, protocol, net, lights, model, core, proto, deadline, check,
+                cfg, protocol, net, &partition, lights, model, core, proto, deadline, check,
             )
         }
         Protocol::Rlsmp => {
@@ -309,7 +329,7 @@ fn run_simulation_impl(
             proto.reserve_vehicles(cfg.vehicles);
             let deadline = cfg.rlsmp.query_deadline;
             drive(
-                cfg, protocol, net, lights, model, core, proto, deadline, check,
+                cfg, protocol, net, &partition, lights, model, core, proto, deadline, check,
             )
         }
     }
@@ -358,13 +378,14 @@ fn drive<L: LocationService>(
     cfg: &SimConfig,
     protocol: Protocol,
     net: RoadNetwork,
+    partition: &Partition,
     lights: TrafficLights,
     mut model: MobilitySource,
     mut core: NetworkCore,
     mut proto: L,
     deadline: SimDuration,
     check: CheckStateArg<'_>,
-) -> (RunReport, Option<Box<Tracer>>) {
+) -> (RunReport, Option<Box<Tracer>>, Vec<TelemetrySample>) {
     #[cfg(feature = "check")]
     let mut check = check;
     #[cfg(not(feature = "check"))]
@@ -398,6 +419,22 @@ fn drive<L: LocationService>(
         }
     }
     let mut timeline: Vec<TimelinePoint> = Vec::new();
+    // Telemetry sampling: ordinary DES events at every interval multiple
+    // strictly before the horizon (the final sample is taken after the loop, at
+    // the horizon itself, so it sees the complete run). Sim-time scheduling is
+    // what makes the stream seed-reproducible.
+    let mut telemetry = cfg.telemetry_interval.map(TelemetrySampler::new);
+    if let Some(sampler) = &telemetry {
+        queue.schedule_periodic(
+            sampler.interval(),
+            SimTime::ZERO + cfg.duration,
+            false,
+            || Ev::Telemetry,
+        );
+    }
+    // Completion cursor over the query log: which records have already been fed
+    // into the sliding latency window.
+    let mut lat_seen: Vec<bool> = Vec::new();
     // Protocol start-of-world timers, then initial registration of every vehicle.
     let fx = proto.on_start(&mut core);
     #[cfg(feature = "check")]
@@ -515,7 +552,37 @@ fn drive<L: LocationService>(
                     diagnostics: proto.diagnostics(),
                 });
             }
+            Ev::Telemetry => {
+                if let Some(sampler) = telemetry.as_mut() {
+                    telemetry_tick(
+                        sampler,
+                        &mut lat_seen,
+                        now,
+                        queue.len() as u64,
+                        events_processed,
+                        &core,
+                        &proto,
+                        partition,
+                        cfg.vehicles,
+                    );
+                }
+            }
         }
+    }
+    // The final telemetry sample, at the horizon with the loop fully drained:
+    // its cumulative counters equal the run's NetCounters exactly.
+    if let Some(sampler) = telemetry.as_mut() {
+        telemetry_tick(
+            sampler,
+            &mut lat_seen,
+            horizon,
+            queue.len() as u64,
+            events_processed,
+            &core,
+            &proto,
+            partition,
+            cfg.vehicles,
+        );
     }
 
     // Queue self-telemetry, snapshotted before the check-mode drain below can
@@ -566,7 +633,75 @@ fn drive<L: LocationService>(
     report.peak_queue_depth = peak_queue_depth;
     report.queue_resizes = queue_stats.resizes;
     report.queue_max_scan = queue_stats.max_pop_scan;
-    (report, core.take_tracer())
+    let samples = telemetry.map(|s| s.into_samples()).unwrap_or_default();
+    (report, core.take_tracer(), samples)
+}
+
+/// One telemetry tick: feed newly completed queries into the sliding latency
+/// window, assemble the instantaneous snapshot, and record the sample.
+#[allow(clippy::too_many_arguments)]
+fn telemetry_tick<L: LocationService>(
+    sampler: &mut TelemetrySampler,
+    lat_seen: &mut Vec<bool>,
+    now: SimTime,
+    queue_depth: u64,
+    events: u64,
+    core: &NetworkCore,
+    proto: &L,
+    partition: &Partition,
+    vehicles: usize,
+) {
+    use vanet_net::PacketClass;
+    let records = proto.query_log().records();
+    lat_seen.resize(records.len(), false);
+    let mut inflight = 0u64;
+    // Queries complete in arbitrary record order between two ticks; the window
+    // wants its observations time-sorted, so batch and sort before feeding.
+    let mut fresh: Vec<(SimTime, f64)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        match r.completed {
+            Some(done) => {
+                if !lat_seen[i] {
+                    lat_seen[i] = true;
+                    fresh.push((done, done.saturating_since(r.launched).as_secs_f64()));
+                }
+            }
+            None => inflight += 1,
+        }
+    }
+    fresh.sort_by_key(|&(done, _)| done);
+    for (done, latency) in fresh {
+        sampler.note_latency(done, latency);
+    }
+    // Per-L3-region load: vehicles by current position, table entries by the
+    // protocol's homing (zero for protocols without a region hierarchy).
+    let mut regions = vec![(0u64, 0u64); partition.l3_count()];
+    for v in 0..vehicles {
+        let node = core.registry.node_of_vehicle(VehicleId(v as u32));
+        let r = partition.l3_of(core.registry.pos(node)).0 as usize;
+        if let Some(slot) = regions.get_mut(r) {
+            slot.0 += 1;
+        }
+    }
+    let mut entries = vec![0u64; partition.l3_count()];
+    proto.region_entries(&mut entries);
+    for (slot, e) in regions.iter_mut().zip(&entries) {
+        slot.1 = *e;
+    }
+    let c = &core.counters;
+    let snap = TelemetrySnapshot {
+        queue_depth,
+        events,
+        inflight_queries: inflight,
+        table_entries: proto.table_sizes(),
+        updates: c.origination_count(PacketClass::Update),
+        update_radio: c.radio(PacketClass::Update),
+        query_radio: c.radio(PacketClass::Query),
+        query_wired: c.wired(PacketClass::Query),
+        drops: c.drop_matrix(),
+        regions,
+    };
+    sampler.sample(now, &snap);
 }
 
 fn apply<P, T>(queue: &mut EventQueue<Ev<P, T>>, fx: Vec<Effect<P, T>>) {
@@ -697,6 +832,64 @@ mod tests {
             let (_, violation) = run_simulation_checked(&cfg, protocol, &setup);
             let v = violation.expect("corruption went undetected");
             assert_eq!(v.invariant, "table-soundness", "{}", v.detail);
+        }
+    }
+
+    #[test]
+    fn telemetry_stream_is_seed_reproducible_and_reconciles() {
+        for protocol in [Protocol::Hlsrg, Protocol::Rlsmp] {
+            let cfg = SimConfig {
+                telemetry_interval: Some(SimDuration::from_secs(10)),
+                ..SimConfig::quick_demo(7)
+            };
+            let (report, _, samples) = run_simulation_instrumented(&cfg, protocol, false);
+            // 90 s run, 10 s interval: ticks at 10..=80 plus the final sample.
+            assert_eq!(samples.len(), 9, "{protocol:?}");
+            let jsonl = vanet_trace::telemetry_to_jsonl(&samples);
+
+            // Byte-identical across repeated same-seed runs.
+            let (_, _, again) = run_simulation_instrumented(&cfg, protocol, false);
+            assert_eq!(jsonl, vanet_trace::telemetry_to_jsonl(&again));
+            // And the stream round-trips through its own parser.
+            assert_eq!(vanet_trace::parse_telemetry_jsonl(&jsonl), samples);
+
+            // The final tick reconciles exactly with the run's NetCounters as
+            // surfaced in the report.
+            let last = samples.last().unwrap();
+            assert_eq!(last.t, SimTime::ZERO + cfg.duration);
+            assert_eq!(last.updates, report.update_packets);
+            assert_eq!(last.update_radio, report.update_radio_tx);
+            assert_eq!(last.query_radio, report.query_radio_tx);
+            assert_eq!(last.query_wired, report.query_wired_tx);
+            let drop_totals: [u64; 4] = core::array::from_fn(|c| last.drops[c].iter().sum::<u64>());
+            assert_eq!(drop_totals, report.drops);
+            // Cumulative series never decrease.
+            for pair in samples.windows(2) {
+                assert!(pair[1].events >= pair[0].events);
+                assert!(pair[1].updates >= pair[0].updates);
+                assert!(pair[1].t > pair[0].t);
+            }
+            // Region breakdown: vehicle totals account for the whole fleet
+            // (HLSRG also homes table entries; RLSMP has no region hierarchy).
+            let fleet: u64 = last.regions.iter().map(|&(v, _)| v).sum();
+            assert_eq!(fleet as usize, cfg.vehicles, "{protocol:?}");
+            if protocol == Protocol::Hlsrg {
+                let entries: u64 = last.regions.iter().map(|&(_, e)| e).sum();
+                let tables: u64 = last.table_entries.iter().sum();
+                assert_eq!(entries, tables, "region homing covers every table");
+            }
+
+            // Telemetry must not perturb the simulation: identical counters to
+            // a plain run of the same config sans sampler.
+            let plain_cfg = SimConfig {
+                telemetry_interval: None,
+                ..cfg.clone()
+            };
+            let plain = run_simulation(&plain_cfg, protocol);
+            assert_eq!(plain.update_packets, report.update_packets);
+            assert_eq!(plain.query_radio_tx, report.query_radio_tx);
+            assert_eq!(plain.queries_succeeded, report.queries_succeeded);
+            assert_eq!(plain.drops, report.drops);
         }
     }
 

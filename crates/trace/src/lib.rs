@@ -24,6 +24,7 @@ pub mod event;
 pub mod registry;
 pub mod ring;
 pub mod span;
+pub mod telemetry;
 
 pub use event::{
     cause_name, class_name, reason_name, TraceEvent, CAUSE_NAMES, CLASS_NAMES, REASON_NAMES,
@@ -31,6 +32,10 @@ pub use event::{
 pub use registry::{LevelSummary, MetricsRegistry, NodeMetrics};
 pub use ring::EventRing;
 pub use span::{Phase, PhaseSummary, PhaseTimings, PHASE_COUNT};
+pub use telemetry::{
+    parse_telemetry_jsonl, telemetry_to_jsonl, QuantileWindow, TelemetrySample, TelemetrySampler,
+    TelemetrySnapshot,
+};
 
 use vanet_des::SimTime;
 
@@ -126,6 +131,20 @@ pub fn parse_jsonl(text: &str) -> Vec<TraceEvent> {
     text.lines().filter_map(TraceEvent::parse_line).collect()
 }
 
+/// The trailer a trace export appends when the ring overflowed, so readers can
+/// tell a complete export from a truncated one.
+pub fn truncation_line(lost: u64) -> String {
+    format!("{{\"type\":\"trace_truncated\",\"lost\":{lost}}}")
+}
+
+/// Recognizes a [`truncation_line`] trailer, returning the lost-event count.
+pub fn parse_truncation_line(line: &str) -> Option<u64> {
+    let rest = line
+        .trim()
+        .strip_prefix("{\"type\":\"trace_truncated\",\"lost\":")?;
+    rest.strip_suffix('}')?.parse().ok()
+}
+
 /// Rebuilds a registry from an event stream (e.g. a parsed JSONL file).
 pub fn registry_from_events<'a>(
     events: impl IntoIterator<Item = &'a TraceEvent>,
@@ -177,6 +196,16 @@ mod tests {
         let rebuilt = registry_from_events(&parsed);
         assert_eq!(rebuilt.radio(2), tr.metrics.radio(2));
         assert_eq!(rebuilt.delivered(2), tr.metrics.delivered(2));
+    }
+
+    #[test]
+    fn truncation_trailer_round_trips() {
+        assert_eq!(parse_truncation_line(&truncation_line(42)), Some(42));
+        assert_eq!(parse_truncation_line(&truncation_line(0)), Some(0));
+        assert_eq!(parse_truncation_line("{\"type\":\"originated\"}"), None);
+        assert_eq!(parse_truncation_line("junk"), None);
+        // The trailer is not mistaken for a trace event by the lenient parser.
+        assert!(TraceEvent::parse_line(&truncation_line(7)).is_none());
     }
 
     #[test]

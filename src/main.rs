@@ -3,18 +3,22 @@
 //! ```text
 //! hlsrg run      [--protocol hlsrg|rlsmp] [--vehicles N] [--map-size M] [--seed S]
 //!                [--duration SECS] [--csv] [--trace-out FILE]
+//!                [--telemetry-out FILE] [--telemetry-interval SECS]
 //! hlsrg figures  [--paper] [--csv]
 //! hlsrg compare  [--vehicles N] [--seed S] [--reps R]
 //! hlsrg map      [--size M] [--jitter J] [--seed S] [--out FILE]
 //! hlsrg inspect  FILE [--top N] [--query ID]
+//! hlsrg report   [--telemetry FILE] [--bench FILE] [--figures none|smoke|paper]
+//!                [--title T] [--out FILE]
+//! hlsrg bench    [--compare LABEL] [--threshold PCT]
 //! ```
 
 use hlsrg_suite::des::{SimDuration, SimTime};
 use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace, TrafficLights};
 use hlsrg_suite::roadnet::{generate_grid, to_map_text, GridMapSpec};
 use hlsrg_suite::scenario::{
-    fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_traced, BenchOptions,
-    FigureScale, Protocol, RunReport, SimConfig,
+    fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_instrumented,
+    BenchOptions, FigureScale, Protocol, RunReport, SimConfig,
 };
 use hlsrg_suite::trace::{cause_name, registry_from_events, TraceEvent};
 use rand::rngs::SmallRng;
@@ -85,6 +89,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "fuzz" => cmd_fuzz(&flags),
         "bench" => cmd_bench(&flags),
+        "report" => cmd_report(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -105,6 +110,8 @@ commands:
   run      one simulation            --protocol hlsrg|rlsmp  --vehicles N
                                      --map-size M  --seed S  --duration SECS  --csv
                                      --trace-out FILE (JSONL event trace)
+                                     --telemetry-out FILE (JSONL time series)
+                                     --telemetry-interval SECS (default 5)
   figures  regenerate the paper's    --paper (full sweep)  --csv
            evaluation figures
   compare  HLSRG vs RLSMP summary    --vehicles N  --seed S  --reps R
@@ -123,6 +130,13 @@ commands:
            scenarios and append to   --reps N  --threads N  --label NAME
            the perf trajectory       --out FILE (default BENCH_sim.json)
                                      --check FILE (validate a trajectory, no runs)
+                                     --compare LABEL (diff newest rows vs that
+                                     baseline; nonzero exit past --threshold PCT,
+                                     default 20)
+  report   render one self-contained --telemetry FILE (from run --telemetry-out)
+           HTML dashboard            --bench FILE (perf trajectory)
+                                     --figures none|smoke|paper (sweep curves)
+                                     --title T  --out FILE (default report.html)
   help     this message"
     );
 }
@@ -220,36 +234,82 @@ fn print_report(r: &RunReport, csv: bool) {
 }
 
 fn cmd_run(flags: &Flags) -> ExitCode {
-    let cfg = config_of(flags);
+    use std::io::Write;
+
+    let mut cfg = config_of(flags);
     let protocol = protocol_of(flags);
-    let Some(path) = flags.get("trace-out") else {
+    let trace_path = flags.get("trace-out");
+    let telemetry_path = flags.get("telemetry-out");
+    if telemetry_path.is_some() || flags.contains_key("telemetry-interval") {
+        let secs = get(flags, "telemetry-interval", 5.0f64);
+        // NaN from a malformed value falls to the default, so <= 0 is the bad case.
+        if secs <= 0.0 {
+            eprintln!("error: --telemetry-interval wants a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+        cfg.telemetry_interval = Some(SimDuration::from_secs_f64(secs));
+    }
+    if trace_path.is_none() && cfg.telemetry_interval.is_none() {
         let r = run_simulation(&cfg, protocol);
         print_report(&r, flags.contains_key("csv"));
         return ExitCode::SUCCESS;
-    };
-    // Open the output before the (potentially long) run so a bad path fails fast.
-    let mut file = match std::fs::File::create(path) {
-        Ok(f) => std::io::BufWriter::new(f),
+    }
+    // Open the outputs before the (potentially long) run so a bad path fails fast.
+    let open = |path: &String| match std::fs::File::create(path) {
+        Ok(f) => Ok(std::io::BufWriter::new(f)),
         Err(e) => {
             eprintln!("error: cannot create {path}: {e}");
-            return ExitCode::FAILURE;
+            Err(ExitCode::FAILURE)
         }
     };
-    let (r, tracer) = run_simulation_traced(&cfg, protocol);
-    if let Err(e) = tracer.write_jsonl(&mut file) {
-        eprintln!("error: cannot write {path}: {e}");
-        return ExitCode::FAILURE;
+    let mut trace_file = match trace_path.map(open).transpose() {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let mut telemetry_file = match telemetry_path.map(open).transpose() {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let (r, tracer, samples) = run_simulation_instrumented(&cfg, protocol, trace_path.is_some());
+    if let (Some(path), Some(tracer), Some(file)) = (trace_path, &tracer, trace_file.as_mut()) {
+        let write = tracer.write_jsonl(file).and_then(|()| {
+            if tracer.overwritten() > 0 {
+                // A trailer marks the export incomplete, so `inspect` can say
+                // so instead of silently summarizing the surviving suffix.
+                writeln!(
+                    file,
+                    "{}",
+                    hlsrg_suite::trace::truncation_line(tracer.overwritten())
+                )
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = write {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let (Some(path), Some(file)) = (telemetry_path, telemetry_file.as_mut()) {
+        if let Err(e) = file.write_all(hlsrg_suite::trace::telemetry_to_jsonl(&samples).as_bytes())
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} telemetry samples to {path}", samples.len());
     }
     print_report(&r, flags.contains_key("csv"));
-    let dropped = if tracer.overwritten() > 0 {
-        format!(
-            " ({} oldest overwritten by ring wrap)",
-            tracer.overwritten()
-        )
-    } else {
-        String::new()
-    };
-    eprintln!("wrote {} trace events to {path}{dropped}", tracer.len());
+    if let (Some(path), Some(tracer)) = (trace_path, &tracer) {
+        let dropped = if tracer.overwritten() > 0 {
+            format!(
+                " ({} oldest overwritten by ring wrap)",
+                tracer.overwritten()
+            )
+        } else {
+            String::new()
+        };
+        eprintln!("wrote {} trace events to {path}{dropped}", tracer.len());
+    }
     for p in &r.phase_timings {
         eprintln!(
             "  phase {:<14} {:>9} calls  mean {:>8.0} ns  total {:>8.1} ms",
@@ -280,18 +340,51 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let events = hlsrg_suite::trace::parse_jsonl(&text);
+    // Parse line by line so a truncated or corrupt record names its exact
+    // location instead of failing the whole file with an aggregate count.
+    let mut events = Vec::new();
+    let mut lost: u64 = 0;
+    let mut bad: u64 = 0;
+    for (ix, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(ev) = TraceEvent::parse_line(line) {
+            events.push(ev);
+        } else if let Some(n) = hlsrg_suite::trace::parse_truncation_line(line) {
+            lost += n;
+        } else {
+            bad += 1;
+            if bad <= 5 {
+                let snippet: String = line.chars().take(72).collect();
+                let cut = if snippet.len() < line.len() {
+                    "…"
+                } else {
+                    ""
+                };
+                eprintln!(
+                    "error: {file}:{}: not a valid trace record: {snippet:?}{cut}",
+                    ix + 1
+                );
+            }
+        }
+    }
+    if bad > 5 {
+        eprintln!("error: …and {} more invalid lines", bad - 5);
+    }
+    if bad > 0 {
+        return ExitCode::FAILURE;
+    }
     if events.is_empty() {
         eprintln!("error: no trace events in {file}");
         return ExitCode::FAILURE;
     }
-    let nonblank = text.lines().filter(|l| !l.trim().is_empty()).count();
-    if nonblank != events.len() {
+    if lost > 0 {
         eprintln!(
-            "error: {} of {nonblank} lines in {file} are not valid trace events",
-            nonblank - events.len()
+            "warning: trace truncated, {lost} events lost to ring overflow; \
+             summaries cover only the surviving suffix"
         );
-        return ExitCode::FAILURE;
     }
     if let Some(q) = flags.get("query").and_then(|v| v.parse::<u64>().ok()) {
         return print_query_timeline(&events, q);
@@ -585,8 +678,158 @@ fn cmd_fuzz(_flags: &Flags) -> ExitCode {
 /// The scale comes from `--scale`, falling back to the `HLSRG_BENCH_SCALE`
 /// environment variable (the CI hook), then to `smoke`. `--check FILE`
 /// validates an existing trajectory without running anything.
+/// `report` — render telemetry, figure sweeps, and the bench trajectory into
+/// one self-contained HTML file (inline SVG/CSS only; no external assets).
+fn cmd_report(flags: &Flags) -> ExitCode {
+    use hlsrg_suite::scenario::{parse_trajectory, render_report, ReportInputs};
+    use hlsrg_suite::trace::parse_telemetry_jsonl;
+
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "report.html".into());
+    let title = flags
+        .get("title")
+        .cloned()
+        .unwrap_or_else(|| "HLSRG run report".into());
+
+    let telemetry = match flags.get("telemetry") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let samples = parse_telemetry_jsonl(&text);
+                if samples.is_empty() {
+                    eprintln!("error: no telemetry samples in {path}");
+                    return ExitCode::FAILURE;
+                }
+                samples
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Vec::new(),
+    };
+    let bench = match flags.get("bench") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_trajectory(&text) {
+                Ok(records) => records,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Vec::new(),
+    };
+    let figures = match flags.get("figures").map(String::as_str) {
+        None | Some("none") => Vec::new(),
+        Some(scale) => {
+            let scale = match scale {
+                "smoke" => FigureScale::Smoke,
+                "paper" => FigureScale::Paper,
+                other => {
+                    eprintln!("error: unknown figure scale {other:?} (use none, smoke, or paper)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("running {scale:?}-scale figure sweeps…");
+            let f2 = fig3_2(scale);
+            let (f3, f4, f5) = fig3_345(scale);
+            vec![f2, f3, f4, f5]
+        }
+    };
+
+    let html = render_report(&ReportInputs {
+        title: &title,
+        telemetry: &telemetry,
+        figures: &figures,
+        bench: &bench,
+    });
+    if let Err(e) = std::fs::write(&out, &html) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {out} ({} telemetry samples, {} figures, {} bench records)",
+        telemetry.len(),
+        figures.len(),
+        bench.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_bench(flags: &Flags) -> ExitCode {
-    use hlsrg_suite::scenario::{append_trajectory, parse_trajectory, run_bench};
+    use hlsrg_suite::scenario::{
+        append_trajectory, compare_trajectory, parse_trajectory, run_bench,
+    };
+
+    if let Some(baseline) = flags.get("compare") {
+        let out = flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "BENCH_sim.json".into());
+        let threshold = get(flags, "threshold", 20.0f64);
+        let text = match std::fs::read_to_string(&out) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let records = match parse_trajectory(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rows = match compare_trajectory(&records, baseline, threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if rows.is_empty() {
+            eprintln!(
+                "error: no scenario in {out} has both a {baseline:?} baseline and a newer row"
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut regressed = false;
+        println!(
+            "{:<8} {:<14} {:>14} {:>14} {:>9}",
+            "scale", "scenario", "baseline ev/s", "current ev/s", "delta"
+        );
+        for row in &rows {
+            regressed |= row.regressed;
+            println!(
+                "{:<8} {:<14} {:>14.0} {:>14.0} {:>+8.1}%{}",
+                row.scale,
+                row.scenario,
+                row.baseline_eps,
+                row.current_eps,
+                row.delta_pct,
+                if row.regressed { "  REGRESSED" } else { "" }
+            );
+        }
+        return if regressed {
+            eprintln!(
+                "error: events/sec regressed more than {threshold}% vs baseline {baseline:?}"
+            );
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     if let Some(path) = flags.get("check") {
         let text = match std::fs::read_to_string(path) {
