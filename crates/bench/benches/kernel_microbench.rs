@@ -131,7 +131,7 @@ fn bench_mobility_tick(c: &mut Criterion) {
             let tick = model.config().tick;
             let mut now = SimTime::ZERO;
             b.iter(|| {
-                let s = model.step(&net, &lights, now, &mut rng);
+                let s = model.step(&net, &lights, now);
                 let len = s.len();
                 now += tick;
                 black_box(len)

@@ -563,6 +563,27 @@ impl<E> EventQueue<E> {
         Some(self.commit_pop(ix))
     }
 
+    /// Timestamp and payload of the next pending event without removing it or
+    /// advancing the clock. Unlike [`EventQueue::peek_time`] this commits the
+    /// cursor to the head's window (safe — see [`EventQueue::find_next`]), so
+    /// a subsequent pop resumes in O(1). The sharded façade uses this to keep
+    /// a per-shard head cache fresh after each pop.
+    pub fn peek_entry(&mut self) -> Option<(SimTime, &E)> {
+        let ix = self.find_next()?;
+        let b = &self.buckets[ix];
+        let mut best = 0usize;
+        let mut best_key = (b[0].time, b[0].seq);
+        for (i, e) in b.iter().enumerate().skip(1) {
+            let key = (e.time, e.seq);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        debug_assert_eq!(best_key, self.mins[ix], "cached bucket min is stale");
+        Some((best_key.0, &b[best].event))
+    }
+
     /// Pops the earliest event only if it fires at or before `horizon` — the
     /// driver's one-touch replacement for a peek-then-pop pair. Returns `None`
     /// with the event left in place when the head is beyond the horizon.
@@ -964,6 +985,25 @@ mod tests {
             Some((SimTime::from_secs(3), "b"))
         );
         assert_eq!(q.pop_if_at_or_before(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn peek_entry_sees_head_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2), "b");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        assert_eq!(q.peek_entry(), Some((SimTime::from_secs(1), &"a")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.now(), SimTime::ZERO, "peeking never advances the clock");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.peek_entry(), Some((SimTime::from_secs(2), &"b")));
+        // A far-tier head is visible too: the peek migrates exactly as a pop
+        // would, and peeking twice is idempotent.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(86_400), "day");
+        assert_eq!(q.peek_entry(), Some((SimTime::from_secs(86_400), &"day")));
+        assert_eq!(q.peek_entry(), Some((SimTime::from_secs(86_400), &"day")));
+        assert!(EventQueue::<u8>::new().peek_entry().is_none());
     }
 
     #[test]

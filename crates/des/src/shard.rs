@@ -1,0 +1,562 @@
+//! Region-sharded event queue: the conservative-PDES façade over per-shard
+//! calendar queues.
+//!
+//! [`ShardedQueue`] partitions the pending-event set across `N` inner
+//! [`EventQueue`]s (one per shard — in the VANET stack, one per group of L3
+//! regions) and merges their heads back into a single, globally ordered pop
+//! stream. The merge key is `(time, global sequence)`: every schedule call
+//! draws a *global* sequence number that rides inside the payload, so the
+//! merged stream is **exactly** the stream one unsharded [`EventQueue`] would
+//! produce — for *any* routing of events to shards. Two facts make that hold:
+//!
+//! * **Within a shard**, the inner queue orders by `(time, local seq)`; local
+//!   sequence numbers are assigned in the same call order as global ones, so
+//!   both orders agree on every within-shard pair.
+//! * **Across shards**, the façade pops the shard whose cached head key
+//!   `(time, global seq)` is the k-way minimum. Global sequence numbers are
+//!   unique, so the merge order is total and tie-free.
+//!
+//! That identity is what the differential determinism suite pins: sharding is
+//! an *implementation layout*, never an observable.
+//!
+//! # Conservative synchronization and lookahead
+//!
+//! A parallel conservative run (Chandy–Misra–Bryant style) is safe exactly
+//! when no shard can receive a cross-shard event earlier than `now +
+//! lookahead`: each shard may then process its own events up to the next
+//! epoch barrier without waiting on the others. The façade *executes* the
+//! merged stream on one commit thread (which is what makes byte-identity
+//! across shard counts structural), but it enforces and audits the contract a
+//! multi-core executor would rely on:
+//!
+//! * The constructor **fails fast** on a zero lookahead when `shards > 1` —
+//!   a degenerate config would deadlock a real conservative executor, so it
+//!   is rejected with [`ShardConfigError::ZeroLookahead`] instead of being
+//!   discovered as a hang.
+//! * While processing an event, the driver declares the shard it is executing
+//!   on via [`ShardedQueue::set_origin`]; every schedule targeting a
+//!   *different* shard closer than `lookahead` in the future is counted in
+//!   [`ShardedQueue::violations`]. A run that ends with zero violations is a
+//!   machine-checked proof that its event flow honours the lookahead — i.e.
+//!   that per-shard handler execution between barriers could not have
+//!   diverged from the sequential order.
+//! * Epoch barriers are book-kept as the pop clock crossing successive
+//!   `lookahead`-wide windows ([`ShardedQueue::epochs`]). The count is a pure
+//!   function of the (shard-invariant) pop stream and the lookahead, so it is
+//!   itself part of the deterministic output surface.
+
+use crate::event::{EventQueue, QueueTelemetry};
+use crate::time::{SimDuration, SimTime};
+
+/// Cached head sentinel for an empty shard. The `u64::MAX` sequence marks
+/// emptiness (a real event can fire at `SimTime::MAX` but never draws that
+/// sequence number), so the sentinel loses every comparison against real keys.
+const EMPTY_HEAD: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+/// Why a [`ShardedQueue`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// A queue needs at least one shard.
+    NoShards,
+    /// `shards > 1` with a zero lookahead: a conservative executor could
+    /// never advance past its first barrier — refuse up front instead of
+    /// deadlocking.
+    ZeroLookahead {
+        /// The shard count that was requested.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardConfigError::NoShards => write!(f, "sharded queue needs at least one shard"),
+            ShardConfigError::ZeroLookahead { shards } => write!(
+                f,
+                "conservative sync across {shards} shards needs a strictly positive \
+                 lookahead; this configuration derives zero (every cross-shard epoch \
+                 would deadlock) — widen the radio per-hop overhead, the wired RSU \
+                 link latency, or the radio-range/max-speed ratio"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
+
+/// Per-shard event counters, cleared by [`ShardedQueue::reset`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events routed to this shard by schedule calls.
+    pub scheduled: u64,
+    /// Events popped out of this shard by the merged stream.
+    pub popped: u64,
+}
+
+/// A set of per-shard [`EventQueue`]s merged into one deterministic pop
+/// stream — see the module docs for the ordering and synchronization
+/// contract. With `shards == 1` this is a thin wrapper over a single
+/// calendar queue.
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    /// One calendar queue per shard; payloads carry their global sequence.
+    shards: Vec<EventQueue<(u64, E)>>,
+    /// Cached head key `(time, global seq)` per shard, [`EMPTY_HEAD`] when
+    /// the shard is empty. The merge argmin touches only these.
+    heads: Vec<(SimTime, u64)>,
+    stats: Vec<ShardStats>,
+    next_seq: u64,
+    len: usize,
+    now: SimTime,
+    peak_depth: usize,
+    lookahead: SimDuration,
+    /// Exclusive end of the current conservative epoch window.
+    epoch_end: SimTime,
+    epochs: u64,
+    /// The shard the driver is currently executing on (None between events /
+    /// for control-plane work exempt from the cross-shard contract).
+    origin: Option<usize>,
+    violations: u64,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Creates an empty sharded queue. `lookahead` is the conservative-sync
+    /// window; it must be strictly positive whenever `shards > 1`.
+    pub fn new(shards: usize, lookahead: SimDuration) -> Result<Self, ShardConfigError> {
+        Self::from_queues(
+            lookahead,
+            (0..Self::checked_shards(shards, lookahead)?)
+                .map(|_| EventQueue::new())
+                .collect(),
+        )
+    }
+
+    /// Creates an empty sharded queue pre-sized for `cap` total pending
+    /// events spread over `horizon` of simulated time (capacity is split
+    /// evenly across the shards).
+    pub fn with_capacity_and_horizon(
+        shards: usize,
+        lookahead: SimDuration,
+        cap: usize,
+        horizon: SimDuration,
+    ) -> Result<Self, ShardConfigError> {
+        let n = Self::checked_shards(shards, lookahead)?;
+        Self::from_queues(
+            lookahead,
+            (0..n)
+                .map(|_| EventQueue::with_capacity_and_horizon((cap / n).max(16), horizon))
+                .collect(),
+        )
+    }
+
+    fn checked_shards(shards: usize, lookahead: SimDuration) -> Result<usize, ShardConfigError> {
+        if shards == 0 {
+            return Err(ShardConfigError::NoShards);
+        }
+        if shards > 1 && lookahead.is_zero() {
+            return Err(ShardConfigError::ZeroLookahead { shards });
+        }
+        Ok(shards)
+    }
+
+    fn from_queues(
+        lookahead: SimDuration,
+        shards: Vec<EventQueue<(u64, E)>>,
+    ) -> Result<Self, ShardConfigError> {
+        let n = shards.len();
+        Ok(ShardedQueue {
+            shards,
+            heads: vec![EMPTY_HEAD; n],
+            stats: vec![ShardStats::default(); n],
+            next_seq: 0,
+            len: 0,
+            now: SimTime::ZERO,
+            peak_depth: 0,
+            lookahead,
+            epoch_end: SimTime::ZERO.checked_add(lookahead).unwrap_or(SimTime::MAX),
+            epochs: 0,
+            origin: None,
+            violations: 0,
+        })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative-sync lookahead window.
+    #[inline]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The current simulation time: the timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events pending across every shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending on any shard.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (the global sequence counter).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cross-shard schedules that landed closer than the lookahead — see the
+    /// module docs. Zero at end of run is the conservative-safety proof.
+    #[inline]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Conservative epoch barriers crossed so far: how many `lookahead`-wide
+    /// windows the pop clock has advanced through. A pure function of the
+    /// pop stream and the lookahead, so identical across shard counts.
+    #[inline]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Per-shard scheduled/popped counters.
+    #[inline]
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Declares the shard the driver is currently executing on; schedules
+    /// issued while an origin is set are checked against the cross-shard
+    /// lookahead contract. Pass `None` for control-plane work exempt from it.
+    #[inline]
+    pub fn set_origin(&mut self, origin: Option<usize>) {
+        debug_assert!(origin.is_none_or(|o| o < self.shards.len()));
+        self.origin = origin;
+    }
+
+    /// Schedules `event` on `shard` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `at` is earlier than the current
+    /// merged time (scheduling into the past is always a protocol bug).
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        if let Some(o) = self.origin {
+            if o != shard
+                && !self.lookahead.is_zero()
+                && self
+                    .now
+                    .checked_add(self.lookahead)
+                    .is_some_and(|floor| at < floor)
+            {
+                self.violations += 1;
+                if std::env::var_os("SHARD_DEBUG_VIOLATIONS").is_some() {
+                    eprintln!(
+                        "violation: origin={o} -> shard={shard} now={} at={} lookahead={}",
+                        self.now, at, self.lookahead
+                    );
+                }
+            }
+        }
+        let gseq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        if self.len > self.peak_depth {
+            self.peak_depth = self.len;
+        }
+        self.stats[shard].scheduled += 1;
+        let key = (at, gseq);
+        if key < self.heads[shard] {
+            self.heads[shard] = key;
+        }
+        self.shards[shard].schedule_at(at, (gseq, event));
+    }
+
+    /// Schedules `event` on `shard` to fire `delay` after the current merged
+    /// time.
+    #[inline]
+    pub fn schedule_after(&mut self, shard: usize, delay: SimDuration, event: E) {
+        self.schedule_at(shard, self.now + delay, event);
+    }
+
+    /// Schedules one `make()` event on `shard` at every multiple of `period`
+    /// from the current time — same contract as
+    /// [`EventQueue::schedule_periodic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn schedule_periodic(
+        &mut self,
+        shard: usize,
+        period: SimDuration,
+        end: SimTime,
+        inclusive: bool,
+        mut make: impl FnMut() -> E,
+    ) {
+        assert!(period > SimDuration::ZERO, "periodic events need a period");
+        let mut t = self.now + period;
+        while t < end {
+            self.schedule_at(shard, t, make());
+            t += period;
+        }
+        if inclusive && t == end {
+            self.schedule_at(shard, t, make());
+        }
+    }
+
+    /// The shard holding the globally earliest head, if any event is pending.
+    fn head_shard(&self) -> Option<usize> {
+        let mut best = usize::MAX;
+        let mut best_key = EMPTY_HEAD;
+        for (i, &k) in self.heads.iter().enumerate() {
+            if k < best_key {
+                best_key = k;
+                best = i;
+            }
+        }
+        (best != usize::MAX).then_some(best)
+    }
+
+    /// Pops shard `s`'s head (already known to be the global minimum),
+    /// refreshing the head cache and the epoch bookkeeping.
+    fn commit_pop(&mut self, s: usize) -> (SimTime, usize, E) {
+        let (t, (gseq, event)) = self.shards[s].pop().expect("cached head of an empty shard");
+        debug_assert_eq!((t, gseq), self.heads[s], "cached shard head is stale");
+        self.heads[s] = self.shards[s]
+            .peek_entry()
+            .map(|(ht, head)| (ht, head.0))
+            .unwrap_or(EMPTY_HEAD);
+        self.len -= 1;
+        self.stats[s].popped += 1;
+        debug_assert!(t >= self.now, "sharded queue went back in time");
+        self.now = t;
+        if !self.lookahead.is_zero() && t >= self.epoch_end {
+            self.epochs += 1;
+            self.epoch_end = t.checked_add(self.lookahead).unwrap_or(SimTime::MAX);
+        }
+        (t, s, event)
+    }
+
+    /// Timestamp of the next pending event across all shards, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.head_shard().map(|s| self.heads[s].0)
+    }
+
+    /// Pops the globally earliest event, advancing the merged clock. Returns
+    /// `(time, shard, event)` — the shard is the one the event was routed to.
+    pub fn pop(&mut self) -> Option<(SimTime, usize, E)> {
+        let s = self.head_shard()?;
+        Some(self.commit_pop(s))
+    }
+
+    /// Pops the globally earliest event only if it fires at or before
+    /// `horizon`; otherwise leaves it in place (same one-touch contract as
+    /// [`EventQueue::pop_if_at_or_before`]).
+    pub fn pop_if_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, usize, E)> {
+        let s = self.head_shard()?;
+        if self.heads[s].0 > horizon {
+            return None;
+        }
+        Some(self.commit_pop(s))
+    }
+
+    /// Aggregated self-telemetry across the shards: peak depth is the merged
+    /// queue's own peak (sum of in-flight events, matching what a single
+    /// queue would report), resizes sum, scan worst-cases max, bucket counts
+    /// sum, and the width is the widest shard's (the least calibrated one).
+    pub fn telemetry(&self) -> QueueTelemetry {
+        let mut t = QueueTelemetry {
+            peak_depth: self.peak_depth,
+            ..QueueTelemetry::default()
+        };
+        for q in &self.shards {
+            let qt = q.telemetry();
+            t.resizes += qt.resizes;
+            t.max_pop_scan = t.max_pop_scan.max(qt.max_pop_scan);
+            t.buckets += qt.buckets;
+            t.width_us = t.width_us.max(qt.width_us);
+        }
+        t
+    }
+
+    /// Drops every pending event and resets the merged clock to t = 0,
+    /// keeping each shard's allocated storage (the pooled-replicate
+    /// contract of [`EventQueue::reset`]).
+    pub fn reset(&mut self) {
+        for q in &mut self.shards {
+            q.reset();
+        }
+        self.heads.fill(EMPTY_HEAD);
+        self.stats.fill(ShardStats::default());
+        self.next_seq = 0;
+        self.len = 0;
+        self.now = SimTime::ZERO;
+        self.peak_depth = 0;
+        self.epoch_end = SimTime::ZERO
+            .checked_add(self.lookahead)
+            .unwrap_or(SimTime::MAX);
+        self.epochs = 0;
+        self.origin = None;
+        self.violations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LA: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn zero_lookahead_fails_fast_only_when_sharded() {
+        // The degenerate config must be an immediate, explicable error — a
+        // real conservative executor would deadlock on it instead.
+        let err = ShardedQueue::<u32>::new(4, SimDuration::ZERO).unwrap_err();
+        assert_eq!(err, ShardConfigError::ZeroLookahead { shards: 4 });
+        assert!(err.to_string().contains("strictly positive"));
+        assert_eq!(
+            ShardedQueue::<u32>::new(0, LA).unwrap_err(),
+            ShardConfigError::NoShards
+        );
+        // One shard has no cross-shard sync, so zero lookahead is fine.
+        assert!(ShardedQueue::<u32>::new(1, SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn merges_across_shards_in_global_time_order() {
+        let mut q = ShardedQueue::new(3, LA).unwrap();
+        q.schedule_at(2, SimTime::from_secs(3), "c");
+        q.schedule_at(0, SimTime::from_secs(1), "a");
+        q.schedule_at(1, SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_secs(1), 0, "a"),
+                (SimTime::from_secs(2), 1, "b"),
+                (SimTime::from_secs(3), 2, "c"),
+            ]
+        );
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_global_schedule_order() {
+        // Events at one instant interleaved across shards must pop in the
+        // order they were scheduled — the global sequence, not shard index.
+        let mut q = ShardedQueue::new(2, LA).unwrap();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule_at((i % 2) as usize, t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_and_peek_track_the_merge() {
+        let mut q = ShardedQueue::new(2, LA).unwrap();
+        q.schedule_at(0, SimTime::from_secs(1), ());
+        q.schedule_at(1, SimTime::from_secs(2), ());
+        q.schedule_at(1, SimTime::from_secs(3), ());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(500)), None);
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_secs(1)),
+            Some((SimTime::from_secs(1), 0, ()))
+        );
+        while q.pop().is_some() {}
+        assert_eq!(
+            q.shard_stats()[0],
+            ShardStats {
+                scheduled: 1,
+                popped: 1
+            }
+        );
+        assert_eq!(
+            q.shard_stats()[1],
+            ShardStats {
+                scheduled: 2,
+                popped: 2
+            }
+        );
+        assert_eq!(q.telemetry().peak_depth, 3);
+    }
+
+    #[test]
+    fn lookahead_violations_are_counted_per_offending_schedule() {
+        let mut q = ShardedQueue::new(2, LA).unwrap();
+        q.schedule_at(0, SimTime::from_secs(1), ());
+        q.pop();
+        q.set_origin(Some(0));
+        // Same shard: never a violation, however close.
+        q.schedule_after(0, SimDuration::ZERO, ());
+        assert_eq!(q.violations(), 0);
+        // Cross-shard below the lookahead: violation.
+        q.schedule_after(1, SimDuration::from_micros(999), ());
+        assert_eq!(q.violations(), 1);
+        // Cross-shard exactly at the lookahead: allowed.
+        q.schedule_after(1, LA, ());
+        assert_eq!(q.violations(), 1);
+        // No origin set (control plane): exempt.
+        q.set_origin(None);
+        q.schedule_after(1, SimDuration::ZERO, ());
+        assert_eq!(q.violations(), 1);
+    }
+
+    #[test]
+    fn epochs_count_lookahead_windows_and_reset_clears() {
+        let mut q = ShardedQueue::new(2, LA).unwrap();
+        for ms in [0u64, 1, 2, 5] {
+            q.schedule_at(0, SimTime::from_millis(ms), ms);
+        }
+        while q.pop().is_some() {}
+        // Pops at 0/1/2/5 ms with a 1 ms window: barriers at 1, 2 and 5 ms.
+        assert_eq!(q.epochs(), 3);
+        q.reset();
+        assert_eq!(q.epochs(), 0);
+        assert_eq!(q.violations(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.shard_stats()[0], ShardStats::default());
+    }
+
+    #[test]
+    fn single_shard_matches_a_plain_event_queue() {
+        let mut sharded = ShardedQueue::new(1, SimDuration::ZERO).unwrap();
+        let mut plain = EventQueue::new();
+        for (t, v) in [(5u64, 'a'), (1, 'b'), (5, 'c'), (3, 'd')] {
+            sharded.schedule_at(0, SimTime::from_millis(t), v);
+            plain.schedule_at(SimTime::from_millis(t), v);
+        }
+        loop {
+            let a = sharded.pop().map(|(t, _, e)| (t, e));
+            let b = plain.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -82,7 +82,7 @@ mod tests {
         let mut census = TrafficCensus::new(&net);
         let mut now = SimTime::ZERO;
         for _ in 0..50 {
-            model.step(&net, &lights, now, &mut rng);
+            model.step(&net, &lights, now);
             census.observe(model.vehicles());
             now += model.config().tick;
         }
@@ -100,7 +100,7 @@ mod tests {
         let mut census = TrafficCensus::new(&net);
         let mut now = SimTime::ZERO;
         for _ in 0..240 {
-            model.step(&net, &lights, now, &mut rng);
+            model.step(&net, &lights, now);
             census.observe(model.vehicles());
             now += model.config().tick;
         }

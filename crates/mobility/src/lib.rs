@@ -56,7 +56,7 @@ mod proptests {
             let max_speed = model.config().max_speed;
             let mut now = SimTime::ZERO;
             for _ in 0..120 {
-                let samples = model.step(&net, &lights, now, &mut rng);
+                let samples = model.step(&net, &lights, now);
                 prop_assert_eq!(samples.len(), n);
                 for s in samples {
                     // A tick moves a vehicle at most max_speed × dt (+ε).
@@ -85,7 +85,7 @@ mod proptests {
             let dt = model.config().tick;
             let mut now = SimTime::ZERO;
             for _ in 0..60 {
-                model.step(&net, &lights, now, &mut rng);
+                model.step(&net, &lights, now);
                 now += dt;
             }
             for v in model.vehicles() {

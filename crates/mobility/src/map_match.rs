@@ -330,7 +330,7 @@ mod tests {
         let lights = TrafficLights::new(&net, LightConfig::default());
         let mut rng = SmallRng::seed_from_u64(7);
         let mut model = MobilityModel::new(&net, MobilityConfig::default(), 25, &mut rng);
-        let trace = Ns2Trace::record(&net, &lights, &mut model, 100, &mut rng);
+        let trace = Ns2Trace::record(&net, &lights, &mut model, 100);
 
         let mut rp = TraceReplay::new(trace, MapMatcher::default(), SimDuration::from_millis(500));
         assert_eq!(rp.len(), 25);

@@ -14,8 +14,9 @@ use crate::route::{choose_next_road, spawn_vehicles, RouteConfig};
 use crate::trips::{TripConfig, TripPlan};
 use crate::vehicle::{MoveSample, TurnEvent, VehicleState};
 use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
-use vanet_des::{SimDuration, SimTime};
+use vanet_des::{splitmix64, SimDuration, SimTime};
 use vanet_geo::classify_turn;
 use vanet_roadnet::{IntersectionId, RoadId, RoadNetwork};
 
@@ -54,6 +55,12 @@ impl Default for MobilityConfig {
 }
 
 /// The mobility engine: owns every vehicle's state and advances them tick by tick.
+///
+/// Every vehicle carries its **own** deterministic RNG stream (seeded once at
+/// construction), so a tick's outcome is a pure per-vehicle function of that
+/// vehicle's state — the advance phase can be split across threads at any
+/// chunking ([`MobilityModel::step_par`]) and still produce byte-identical
+/// trajectories to the sequential [`MobilityModel::step`].
 #[derive(Debug, Clone)]
 pub struct MobilityModel {
     cfg: MobilityConfig,
@@ -61,6 +68,8 @@ pub struct MobilityModel {
     samples: Vec<MoveSample>,
     /// Per-vehicle trip plans (empty unless `cfg.trips` is set).
     plans: Vec<TripPlan>,
+    /// Per-vehicle route-choice RNG streams, seeded at construction.
+    rngs: Vec<SmallRng>,
     /// Scratch for the per-tick leader grouping, indexed by *directed lane*
     /// (`road · 2 + direction`): dense, so grouping a vehicle is two array
     /// indexings instead of a hash probe. Lane vectors are cleared, not
@@ -72,16 +81,31 @@ pub struct MobilityModel {
     cap: Vec<f64>,
 }
 
+/// One independent route-choice stream per vehicle, derived from `base` by
+/// running the vehicle index through SplitMix64 (each output seeds a
+/// full Xoshiro expansion, so streams are statistically independent).
+fn per_vehicle_rngs(n: usize, base: u64) -> Vec<SmallRng> {
+    (0..n)
+        .map(|i| SmallRng::seed_from_u64(splitmix64(base.wrapping_add(i as u64))))
+        .collect()
+}
+
+/// Base for [`MobilityModel::from_states`] streams, where no spawn RNG exists.
+const FROM_STATES_RNG_BASE: u64 = 0x6d6f_6269_6c69_7479; // "mobility"
+
 impl MobilityModel {
-    /// Spawns `n` vehicles on `net` and builds the engine.
+    /// Spawns `n` vehicles on `net` and builds the engine. The spawn `rng`
+    /// also seeds the per-vehicle route-choice streams (one draw).
     pub fn new(net: &RoadNetwork, cfg: MobilityConfig, n: usize, rng: &mut SmallRng) -> Self {
         let vehicles = spawn_vehicles(net, &cfg.route, n, cfg.min_speed, cfg.max_speed, rng);
         let plans = vec![TripPlan::default(); n];
+        let rngs = per_vehicle_rngs(n, rng.next_u64());
         MobilityModel {
             cfg,
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
+            rngs,
             lanes: Vec::new(),
             lanes_touched: Vec::new(),
             cap: Vec::with_capacity(n),
@@ -92,11 +116,13 @@ impl MobilityModel {
     pub fn from_states(cfg: MobilityConfig, vehicles: Vec<VehicleState>) -> Self {
         let n = vehicles.len();
         let plans = vec![TripPlan::default(); n];
+        let rngs = per_vehicle_rngs(n, FROM_STATES_RNG_BASE);
         MobilityModel {
             cfg,
             vehicles,
             samples: Vec::with_capacity(n),
             plans,
+            rngs,
             lanes: Vec::new(),
             lanes_touched: Vec::new(),
             cap: Vec::with_capacity(n),
@@ -158,19 +184,11 @@ impl MobilityModel {
         on as f64 / self.vehicles.len() as f64
     }
 
-    /// Advances every vehicle by one tick starting at `now`, returning one sample per
-    /// vehicle (in id order).
-    pub fn step(
-        &mut self,
-        net: &RoadNetwork,
-        lights: &TrafficLights,
-        now: SimTime,
-        rng: &mut SmallRng,
-    ) -> &[MoveSample] {
-        let dt = self.cfg.tick.as_secs_f64();
-        // Leader constraint uses everyone's *old* offset: stable and order-free
-        // (each vehicle sits in exactly one lane, so the `cap` writes below never
-        // collide and lane visit order cannot affect the result).
+    /// Phase 1 of a tick: the leader constraint, from everyone's *old* offset.
+    /// Stable and order-free (each vehicle sits in exactly one lane, so the
+    /// `cap` writes never collide and lane visit order cannot affect the
+    /// result). Leaves `cap[i]` = max offset vehicle `i` may reach this tick.
+    fn prepare_caps(&mut self, net: &RoadNetwork) {
         self.lanes.resize_with(net.road_count() * 2, Vec::new);
         for &l in &self.lanes_touched {
             self.lanes[l as usize].clear();
@@ -183,7 +201,6 @@ impl MobilityModel {
             }
             self.lanes[l].push((v.offset, i));
         }
-        // `cap[i]` = max offset vehicle i may reach this tick due to its leader.
         self.cap.clear();
         self.cap.resize(self.vehicles.len(), f64::INFINITY);
         for &l in &self.lanes_touched {
@@ -195,91 +212,189 @@ impl MobilityModel {
                 self.cap[follower] = leader_off - self.cfg.min_gap;
             }
         }
+    }
 
+    /// Pre-fills the sample buffer so the advance phase can write slots by
+    /// index (the parallel path hands disjoint sub-slices to threads).
+    fn seed_samples(&mut self, net: &RoadNetwork) {
         self.samples.clear();
-        #[allow(clippy::needless_range_loop)] // i indexes vehicles, plans, and cap
-        for i in 0..self.vehicles.len() {
-            let v = self.vehicles[i];
-            let old_pos = v.position(net);
-            let mut road = v.road;
-            let mut from = v.from;
-            let mut offset = v.offset;
-            let mut turn: Option<TurnEvent> = None;
+        if let Some(v0) = self.vehicles.first() {
+            let pos = v0.position(net);
+            let placeholder = MoveSample {
+                id: v0.id,
+                old_pos: pos,
+                new_pos: pos,
+                road: v0.road,
+                from: v0.from,
+                road_class: v0.road_class(net),
+                heading: v0.heading(net),
+                speed: v0.speed,
+                turn: None,
+            };
+            self.samples.resize(self.vehicles.len(), placeholder);
+        }
+    }
 
-            let target_speed = (v.speed + self.cfg.accel * dt).min(v.desired_speed);
-            let mut advance = target_speed * dt;
-            // Honor the leader gap (never move backward because of it).
-            if offset + advance > self.cap[i] {
-                advance = (self.cap[i] - offset).max(0.0);
+    /// Advances every vehicle by one tick starting at `now`, returning one sample per
+    /// vehicle (in id order).
+    pub fn step(
+        &mut self,
+        net: &RoadNetwork,
+        lights: &TrafficLights,
+        now: SimTime,
+    ) -> &[MoveSample] {
+        self.prepare_caps(net);
+        self.seed_samples(net);
+        advance_chunk(
+            &self.cfg,
+            net,
+            lights,
+            now,
+            &self.cap,
+            &mut self.vehicles,
+            &mut self.plans,
+            &mut self.rngs,
+            &mut self.samples,
+        );
+        &self.samples
+    }
+
+    /// [`MobilityModel::step`] with the advance phase fanned out over up to
+    /// `threads` OS threads. Because every vehicle owns its RNG stream and
+    /// writes only its own state slot, the result is **byte-identical** to
+    /// the sequential step for any thread count or chunking — the per-tick
+    /// determinism contract the region-sharded runner relies on.
+    pub fn step_par(
+        &mut self,
+        net: &RoadNetwork,
+        lights: &TrafficLights,
+        now: SimTime,
+        threads: usize,
+    ) -> &[MoveSample] {
+        let n = self.vehicles.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return self.step(net, lights, now);
+        }
+        self.prepare_caps(net);
+        self.seed_samples(net);
+        let chunk = n.div_ceil(threads);
+        let cfg = self.cfg;
+        let cap = &self.cap;
+        std::thread::scope(|s| {
+            for (((vehicles, plans), rngs), (cap, samples)) in self
+                .vehicles
+                .chunks_mut(chunk)
+                .zip(self.plans.chunks_mut(chunk))
+                .zip(self.rngs.chunks_mut(chunk))
+                .zip(cap.chunks(chunk).zip(self.samples.chunks_mut(chunk)))
+            {
+                s.spawn(move || {
+                    advance_chunk(&cfg, net, lights, now, cap, vehicles, plans, rngs, samples);
+                });
             }
+        });
+        &self.samples
+    }
+}
 
-            let len = net.road(road).length;
-            if offset + advance >= len && turnable(net, lights, road, from, now) {
-                // Cross the intersection: pick the next road, carry leftover motion.
-                let at = net.other_end(road, from);
-                let arrive = net.heading_from(road, from);
-                let next = match self.cfg.trips {
-                    None => choose_next_road(net, &self.cfg.route, at, road, rng),
-                    Some(trip_cfg) => {
-                        // Trip mode: follow the plan, replanning at the
-                        // destination (or when the plan went stale). A plan that
-                        // cannot be built falls back to one random turn.
-                        match self.plans[i].next_road(net, at) {
-                            Some(r) => r,
-                            None => {
-                                self.plans[i].replan(net, &trip_cfg, at, rng);
-                                self.plans[i].next_road(net, at).unwrap_or_else(|| {
-                                    choose_next_road(net, &self.cfg.route, at, road, rng)
-                                })
-                            }
+/// Phase 2 of a tick for one contiguous chunk of vehicles: kinematic advance,
+/// light checks, and route choice, each vehicle touching only its own slots
+/// (state, plan, RNG, sample). Chunk boundaries cannot affect the outcome.
+#[allow(clippy::too_many_arguments)]
+fn advance_chunk(
+    cfg: &MobilityConfig,
+    net: &RoadNetwork,
+    lights: &TrafficLights,
+    now: SimTime,
+    cap: &[f64],
+    vehicles: &mut [VehicleState],
+    plans: &mut [TripPlan],
+    rngs: &mut [SmallRng],
+    samples: &mut [MoveSample],
+) {
+    let dt = cfg.tick.as_secs_f64();
+    for i in 0..vehicles.len() {
+        let v = vehicles[i];
+        let rng = &mut rngs[i];
+        let old_pos = v.position(net);
+        let mut road = v.road;
+        let mut from = v.from;
+        let mut offset = v.offset;
+        let mut turn: Option<TurnEvent> = None;
+
+        let target_speed = (v.speed + cfg.accel * dt).min(v.desired_speed);
+        let mut advance = target_speed * dt;
+        // Honor the leader gap (never move backward because of it).
+        if offset + advance > cap[i] {
+            advance = (cap[i] - offset).max(0.0);
+        }
+
+        let len = net.road(road).length;
+        if offset + advance >= len && turnable(net, lights, road, from, now) {
+            // Cross the intersection: pick the next road, carry leftover motion.
+            let at = net.other_end(road, from);
+            let arrive = net.heading_from(road, from);
+            let next = match cfg.trips {
+                None => choose_next_road(net, &cfg.route, at, road, rng),
+                Some(trip_cfg) => {
+                    // Trip mode: follow the plan, replanning at the
+                    // destination (or when the plan went stale). A plan that
+                    // cannot be built falls back to one random turn.
+                    match plans[i].next_road(net, at) {
+                        Some(r) => r,
+                        None => {
+                            plans[i].replan(net, &trip_cfg, at, rng);
+                            plans[i]
+                                .next_road(net, at)
+                                .unwrap_or_else(|| choose_next_road(net, &cfg.route, at, road, rng))
                         }
                     }
-                };
-                let leave = net.heading_from(next, at);
-                turn = Some(TurnEvent {
-                    at,
-                    from_road: road,
-                    to_road: next,
-                    kind: classify_turn(arrive, leave),
-                    from_class: net.road(road).class,
-                    onto_class: net.road(next).class,
-                });
-                let leftover = (offset + advance - len).max(0.0);
-                road = next;
-                from = at;
-                // Clamp so a single tick never skips the whole next road.
-                offset = leftover.min(net.road(next).length - 1e-6);
-            } else {
-                // Either staying on the road or blocked at a red light.
-                offset = (offset + advance).min(len);
-            }
-
-            let v_mut = &mut self.vehicles[i];
-            v_mut.road = road;
-            v_mut.from = from;
-            v_mut.offset = offset;
-            let new_pos = v_mut.position(net);
-            // Realized speed, from actual displacement along roads.
-            let moved = if turn.is_some() {
-                (net.road(v.road).length - v.offset) + offset
-            } else {
-                offset - v.offset
+                }
             };
-            v_mut.speed = (moved / dt).max(0.0);
-
-            self.samples.push(MoveSample {
-                id: v.id,
-                old_pos,
-                new_pos,
-                road,
-                from,
-                road_class: net.road(road).class,
-                heading: net.heading_from(road, from),
-                speed: v_mut.speed,
-                turn,
+            let leave = net.heading_from(next, at);
+            turn = Some(TurnEvent {
+                at,
+                from_road: road,
+                to_road: next,
+                kind: classify_turn(arrive, leave),
+                from_class: net.road(road).class,
+                onto_class: net.road(next).class,
             });
+            let leftover = (offset + advance - len).max(0.0);
+            road = next;
+            from = at;
+            // Clamp so a single tick never skips the whole next road.
+            offset = leftover.min(net.road(next).length - 1e-6);
+        } else {
+            // Either staying on the road or blocked at a red light.
+            offset = (offset + advance).min(len);
         }
-        &self.samples
+
+        let v_mut = &mut vehicles[i];
+        v_mut.road = road;
+        v_mut.from = from;
+        v_mut.offset = offset;
+        let new_pos = v_mut.position(net);
+        // Realized speed, from actual displacement along roads.
+        let moved = if turn.is_some() {
+            (net.road(v.road).length - v.offset) + offset
+        } else {
+            offset - v.offset
+        };
+        v_mut.speed = (moved / dt).max(0.0);
+
+        samples[i] = MoveSample {
+            id: v.id,
+            old_pos,
+            new_pos,
+            road,
+            from,
+            road_class: net.road(road).class,
+            heading: net.heading_from(road, from),
+            speed: v_mut.speed,
+            turn,
+        };
     }
 }
 
@@ -319,21 +434,20 @@ mod tests {
         net: &RoadNetwork,
         lights: &TrafficLights,
         model: &mut MobilityModel,
-        rng: &mut SmallRng,
         ticks: usize,
     ) {
         let dt = model.config().tick;
         let mut now = SimTime::ZERO;
         for _ in 0..ticks {
-            model.step(net, lights, now, rng);
+            model.step(net, lights, now);
             now += dt;
         }
     }
 
     #[test]
     fn vehicles_stay_on_roads_and_within_speed() {
-        let (net, lights, mut model, mut rng) = setup(200, 1);
-        run_ticks(&net, &lights, &mut model, &mut rng, 400);
+        let (net, lights, mut model, _) = setup(200, 1);
+        run_ticks(&net, &lights, &mut model, 400);
         for v in model.vehicles() {
             let len = net.road(v.road).length;
             assert!(
@@ -382,12 +496,11 @@ mod tests {
             desired_speed: 14.0,
         };
         let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
-        let mut rng = SmallRng::seed_from_u64(2);
         // 10 s of ticks: it would cross 125 m easily if the light were green.
         let dt = model.config().tick;
         let mut now = SimTime::ZERO;
         for _ in 0..20 {
-            model.step(&net, &lights, now, &mut rng);
+            model.step(&net, &lights, now);
             now += dt;
         }
         let v = model.vehicles()[0];
@@ -424,8 +537,7 @@ mod tests {
             desired_speed: 14.0,
         };
         let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
-        let mut rng = SmallRng::seed_from_u64(2);
-        let samples = model.step(&net, &lights, SimTime::ZERO, &mut rng);
+        let samples = model.step(&net, &lights, SimTime::ZERO);
         let turn = samples[0].turn.expect("should have crossed");
         assert_eq!(turn.at, target);
         assert_eq!(turn.from_road, road);
@@ -438,11 +550,11 @@ mod tests {
 
     #[test]
     fn no_passing_within_a_lane() {
-        let (net, lights, mut model, mut rng) = setup(300, 3);
+        let (net, lights, mut model, _) = setup(300, 3);
         let dt = model.config().tick;
         let mut now = SimTime::ZERO;
         for _ in 0..200 {
-            model.step(&net, &lights, now, &mut rng);
+            model.step(&net, &lights, now);
             now += dt;
             // After each tick, same-lane vehicles keep distinct offsets in order.
             let mut lanes: HashMap<(RoadId, IntersectionId), Vec<f64>> = HashMap::new();
@@ -463,20 +575,20 @@ mod tests {
 
     #[test]
     fn artery_share_persists_over_time() {
-        let (net, lights, mut model, mut rng) = setup(500, 4);
+        let (net, lights, mut model, _) = setup(500, 4);
         let initial = model.artery_share(&net);
         assert!(initial > 0.7, "initial artery share {initial}");
-        run_ticks(&net, &lights, &mut model, &mut rng, 600); // 5 min
+        run_ticks(&net, &lights, &mut model, 600); // 5 min
         let after = model.artery_share(&net);
         assert!(after > 0.6, "artery share decayed to {after}");
     }
 
     #[test]
     fn deterministic_across_identical_seeds() {
-        let (net, lights, mut m1, mut r1) = setup(100, 9);
-        let (_, _, mut m2, mut r2) = setup(100, 9);
-        run_ticks(&net, &lights, &mut m1, &mut r1, 100);
-        run_ticks(&net, &lights, &mut m2, &mut r2, 100);
+        let (net, lights, mut m1, _) = setup(100, 9);
+        let (_, _, mut m2, _) = setup(100, 9);
+        run_ticks(&net, &lights, &mut m1, 100);
+        run_ticks(&net, &lights, &mut m2, 100);
         for (a, b) in m1.vehicles().iter().zip(m2.vehicles()) {
             assert_eq!(a, b);
         }
@@ -484,8 +596,8 @@ mod tests {
 
     #[test]
     fn samples_cover_every_vehicle_in_id_order() {
-        let (net, lights, mut model, mut rng) = setup(50, 5);
-        let samples = model.step(&net, &lights, SimTime::ZERO, &mut rng);
+        let (net, lights, mut model, _) = setup(50, 5);
+        let samples = model.step(&net, &lights, SimTime::ZERO);
         assert_eq!(samples.len(), 50);
         for (i, s) in samples.iter().enumerate() {
             assert_eq!(s.id, VehicleId(i as u32));
@@ -518,13 +630,12 @@ mod tests {
             desired_speed: 10.0,
         };
         let mut model = MobilityModel::from_states(MobilityConfig::default(), vec![v]);
-        let mut rng = SmallRng::seed_from_u64(2);
         let dt = model.config().tick;
         // Wait through the 50 s red phase, then a few more ticks.
         let mut crossed = false;
         let mut now = SimTime::ZERO;
         for _ in 0..120 {
-            let s = model.step(&net, &lights, now, &mut rng);
+            let s = model.step(&net, &lights, now);
             now += dt;
             if s[0].turn.is_some() {
                 crossed = true;
@@ -549,7 +660,7 @@ mod tests {
         let dt = model.config().tick;
         let mut now = SimTime::ZERO;
         for _ in 0..400 {
-            model.step(&net, &lights, now, &mut rng);
+            model.step(&net, &lights, now);
             now += dt;
         }
         for v in model.vehicles() {
@@ -578,7 +689,7 @@ mod tests {
             let mut model = MobilityModel::new(&net, cfg, 80, &mut rng);
             let mut now = SimTime::ZERO;
             for _ in 0..100 {
-                model.step(&net, &lights, now, &mut rng);
+                model.step(&net, &lights, now);
                 now += model.config().tick;
             }
             model.vehicles().to_vec()
@@ -588,12 +699,12 @@ mod tests {
 
     #[test]
     fn turn_events_record_classes() {
-        let (net, lights, mut model, mut rng) = setup(300, 6);
+        let (net, lights, mut model, _) = setup(300, 6);
         let dt = model.config().tick;
         let mut now = SimTime::ZERO;
         let mut seen_artery_turn = false;
         for _ in 0..300 {
-            for s in model.step(&net, &lights, now, &mut rng) {
+            for s in model.step(&net, &lights, now) {
                 if let Some(t) = s.turn {
                     assert_eq!(t.from_class, net.road(t.from_road).class);
                     assert_eq!(t.onto_class, net.road(t.to_road).class);
@@ -605,5 +716,29 @@ mod tests {
             now += dt;
         }
         assert!(seen_artery_turn);
+    }
+
+    /// The sharded runner steps mobility with `step_par`; a run is only
+    /// deterministic across shard counts if the parallel advance is
+    /// byte-identical to the sequential one at *every* thread count.
+    #[test]
+    fn step_par_matches_step_for_any_thread_count() {
+        for threads in [2usize, 3, 8] {
+            let (net, lights, mut seq, _) = setup(137, 11);
+            let mut par = seq.clone();
+            let dt = seq.config().tick;
+            let mut now = SimTime::ZERO;
+            for _ in 0..120 {
+                let a = seq.step(&net, &lights, now).to_vec();
+                let b = par.step_par(&net, &lights, now, threads);
+                assert_eq!(a, b, "samples diverged at {now} with {threads} threads");
+                now += dt;
+            }
+            assert_eq!(
+                seq.vehicles(),
+                par.vehicles(),
+                "vehicle states diverged with {threads} threads"
+            );
+        }
     }
 }

@@ -17,6 +17,7 @@
 use crate::lights::TrafficLights;
 use crate::model::MobilityModel;
 use crate::vehicle::VehicleId;
+#[cfg(test)]
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -57,7 +58,6 @@ impl Ns2Trace {
         lights: &TrafficLights,
         model: &mut MobilityModel,
         ticks: usize,
-        rng: &mut SmallRng,
     ) -> Ns2Trace {
         let initial: Vec<Point> = model.vehicles().iter().map(|v| v.position(net)).collect();
         let mut last_speed: Vec<f64> = model.vehicles().iter().map(|v| v.speed).collect();
@@ -69,7 +69,7 @@ impl Ns2Trace {
         let tick = model.config().tick;
         let mut now = SimTime::ZERO;
         for _ in 0..ticks {
-            let samples = model.step(net, lights, now, rng);
+            let samples = model.step(net, lights, now);
             for s in samples {
                 let i = s.id.0 as usize;
                 let speed_changed = (s.speed - last_speed[i]).abs() > 0.5;
@@ -202,7 +202,7 @@ mod tests {
         let lights = TrafficLights::new(&net, LightConfig::default());
         let mut rng = SmallRng::seed_from_u64(5);
         let mut model = MobilityModel::new(&net, MobilityConfig::default(), 40, &mut rng);
-        Ns2Trace::record(&net, &lights, &mut model, 120, &mut rng)
+        Ns2Trace::record(&net, &lights, &mut model, 120)
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod gpsr;
 pub mod node;
 pub mod radio;
 pub mod service;
+pub mod sync;
 pub mod wired;
 
 pub use crate::core::{Emission, NetworkCore, Transport};
@@ -34,6 +35,7 @@ pub use gpsr::{
 pub use node::{NodeId, NodeKind, NodeRegistry};
 pub use radio::RadioConfig;
 pub use service::{deliveries, Effect, LocationService, QueryId, QueryLog, QueryRecord};
+pub use sync::{conservative_lookahead, LookaheadError};
 pub use vanet_trace::{TraceEvent, Tracer};
 pub use wired::WiredNetwork;
 

@@ -20,11 +20,46 @@ use crate::metrics::RunReport;
 use crate::replicate::replicate_batch;
 use std::time::Instant;
 
+/// How big a bench run is. `Smoke` and `Paper` mirror [`FigureScale`] and run
+/// the full canonical suite; `Large` is a 10k-vehicle stress tier that runs
+/// only the shard-scaling scenarios (the figure sweep at that size would
+/// dominate the wall-time budget without measuring anything new).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// CI-speed suite on shrunk configs.
+    Smoke,
+    /// The paper's full parameters.
+    Paper,
+    /// 10k vehicles on a 12 km map (9 L3 regions), shard scaling only.
+    Large,
+}
+
+impl BenchScale {
+    /// Parses a `--scale` value.
+    pub fn parse(name: &str) -> Option<BenchScale> {
+        match name {
+            "smoke" => Some(BenchScale::Smoke),
+            "paper" => Some(BenchScale::Paper),
+            "large" => Some(BenchScale::Large),
+            _ => None,
+        }
+    }
+
+    /// The name recorded in trajectory rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchScale::Smoke => "smoke",
+            BenchScale::Paper => "paper",
+            BenchScale::Large => "large",
+        }
+    }
+}
+
 /// What one `bench` invocation should do.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
     /// Sweep scale for the figure-sweep scenario.
-    pub scale: FigureScale,
+    pub scale: BenchScale,
     /// Wall-time repetitions per scenario (best is recorded).
     pub reps: usize,
     /// Worker threads for the sweep scenario (the job pool's width).
@@ -37,7 +72,7 @@ pub struct BenchOptions {
 impl Default for BenchOptions {
     fn default() -> Self {
         BenchOptions {
-            scale: FigureScale::Smoke,
+            scale: BenchScale::Smoke,
             reps: 3,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -72,6 +107,9 @@ pub struct BenchRecord {
     /// Worst single-pop bucket scan across the scenario's runs (absent in
     /// rows recorded before the calendar-queue kernel).
     pub max_bucket_scan: Option<u64>,
+    /// Event-queue shard count for the shard-scaling scenarios (absent in
+    /// single-queue rows and rows recorded before region sharding).
+    pub shards: Option<u64>,
 }
 
 impl BenchRecord {
@@ -88,7 +126,8 @@ impl BenchRecord {
         format!(
             "{{\"label\":\"{}\",\"scale\":\"{}\",\"scenario\":\"{}\",\"wall_ms\":{:?},\
              \"events\":{},\"events_per_sec\":{:?},\"peak_queue_depth\":{},\
-             \"allocs_per_event\":{},\"queue_resizes\":{},\"max_bucket_scan\":{}}}",
+             \"allocs_per_event\":{},\"queue_resizes\":{},\"max_bucket_scan\":{},\
+             \"shards\":{}}}",
             self.label,
             self.scale,
             self.scenario,
@@ -99,6 +138,7 @@ impl BenchRecord {
             allocs,
             opt_u64(self.queue_resizes),
             opt_u64(self.max_bucket_scan),
+            opt_u64(self.shards),
         )
     }
 
@@ -118,6 +158,7 @@ impl BenchRecord {
             allocs_per_event: None,
             queue_resizes: None,
             max_bucket_scan: None,
+            shards: None,
         };
         let mut required = 0u32;
         for field in body.split(',') {
@@ -155,6 +196,14 @@ impl BenchRecord {
                 }
                 "max_bucket_scan" => {
                     rec.max_bucket_scan = if value == "null" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    };
+                    continue; // optional: not counted toward `required`
+                }
+                "shards" => {
+                    rec.shards = if value == "null" {
                         None
                     } else {
                         Some(value.parse().ok()?)
@@ -231,53 +280,88 @@ fn measure(
     }
 }
 
-/// The canonical benchmark suite: the figure sweep (the acceptance metric)
-/// plus one single-run scenario per protocol.
+/// The shard counts every shard-scaling scenario is measured at.
+pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The canonical benchmark suite: the figure sweep (the acceptance metric),
+/// one single-run scenario per protocol, and the shard-scaling rows. At
+/// [`BenchScale::Large`] only the shard rows run, on the 10k-vehicle config.
 pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
-    let scale_name = match opts.scale {
-        FigureScale::Paper => "paper",
-        FigureScale::Smoke => "smoke",
-    };
-    let mut measured = Vec::new();
+    let mut measured: Vec<(Measured, Option<u64>)> = Vec::new();
 
-    // The smoke/paper-scale figure sweep: every (map point × protocol × seed)
-    // replication of the Fig 3.3–3.5 vehicle sweep, through the job pool.
-    let sweep_cfgs = sweep_configs(opts.scale);
-    let reps = match opts.scale {
-        FigureScale::Paper => 10,
-        FigureScale::Smoke => 2,
-    };
-    let sweep_jobs: Vec<(SimConfig, Protocol)> = sweep_cfgs
-        .iter()
-        .flat_map(|cfg| Protocol::ALL.map(|p| (cfg.clone(), p)))
-        .collect();
-    measured.push(measure(opts, "figure_sweep", || {
-        replicate_batch(&sweep_jobs, reps, opts.threads)
-            .into_iter()
-            .flatten()
-            .collect()
-    }));
+    if let Some(fig_scale) = match opts.scale {
+        BenchScale::Smoke => Some(FigureScale::Smoke),
+        BenchScale::Paper => Some(FigureScale::Paper),
+        BenchScale::Large => None,
+    } {
+        // The smoke/paper-scale figure sweep: every (map point × protocol ×
+        // seed) replication of the Fig 3.3–3.5 vehicle sweep, via the job pool.
+        let sweep_cfgs = sweep_configs(fig_scale);
+        let reps = match fig_scale {
+            FigureScale::Paper => 10,
+            FigureScale::Smoke => 2,
+        };
+        let sweep_jobs: Vec<(SimConfig, Protocol)> = sweep_cfgs
+            .iter()
+            .flat_map(|cfg| Protocol::ALL.map(|p| (cfg.clone(), p)))
+            .collect();
+        measured.push((
+            measure(opts, "figure_sweep", || {
+                replicate_batch(&sweep_jobs, reps, opts.threads)
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }),
+            None,
+        ));
 
-    // Single paper-headline runs, one per protocol (no replication fan-out, so
-    // these isolate the per-event hot path from the pool's scheduling).
-    let single = single_config(opts.scale);
-    for (name, protocol) in [
-        ("hlsrg_single", Protocol::Hlsrg),
-        ("rlsmp_single", Protocol::Rlsmp),
+        // Single paper-headline runs, one per protocol (no replication
+        // fan-out, so these isolate the per-event hot path from the pool's
+        // scheduling).
+        let single = single_config(fig_scale);
+        for (name, protocol) in [
+            ("hlsrg_single", Protocol::Hlsrg),
+            ("rlsmp_single", Protocol::Rlsmp),
+        ] {
+            let cfg = single.clone();
+            measured.push((
+                measure(opts, name, move || {
+                    vec![crate::runner::run_simulation(&cfg, protocol)]
+                }),
+                None,
+            ));
+        }
+    }
+
+    // Shard scaling: the same multi-L3 HLSRG run at 1/2/4 event-queue shards.
+    // The determinism contract makes every row process identical events, so
+    // the only thing these rows can differ in is wall time — the sharding
+    // overhead (or, on a multi-core host, the speedup).
+    let shard_base = shard_config(opts.scale);
+    for (name, shards) in [
+        ("hlsrg_shards1", 1usize),
+        ("hlsrg_shards2", 2),
+        ("hlsrg_shards4", 4),
     ] {
-        let cfg = single.clone();
-        measured.push(measure(opts, name, move || {
-            vec![crate::runner::run_simulation(&cfg, protocol)]
-        }));
+        let cfg = SimConfig {
+            shards,
+            ..shard_base.clone()
+        };
+        measured.push((
+            measure(opts, name, move || {
+                vec![crate::runner::run_simulation(&cfg, Protocol::Hlsrg)]
+            }),
+            Some(shards as u64),
+        ));
     }
 
     measured
         .into_iter()
-        .map(|m| {
+        .map(|(m, shards)| {
             let secs = m.wall_ms / 1e3;
             BenchRecord {
                 label: label.to_string(),
-                scale: scale_name.to_string(),
+                scale: opts.scale.name().to_string(),
                 scenario: m.scenario.to_string(),
                 wall_ms: m.wall_ms,
                 events: m.events,
@@ -290,6 +374,7 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                 allocs_per_event: m.allocs_per_event,
                 queue_resizes: Some(m.queue_resizes),
                 max_bucket_scan: Some(m.max_bucket_scan),
+                shards,
             }
         })
         .collect()
@@ -322,6 +407,24 @@ fn single_config(scale: FigureScale) -> SimConfig {
         cfg.duration = vanet_des::SimDuration::from_secs(120);
         cfg.warmup = vanet_des::SimDuration::from_secs(40);
     }
+    cfg
+}
+
+/// The shard-scaling scenario at the given scale. Every tier uses a 4 km-or-
+/// larger map so the L3 partition has multiple regions to shard over; the
+/// large tier is the 10k-vehicle stress config on a 12 km map (3×3 L3 mesh,
+/// paper-like density — the radio cost model is superlinear in density, so
+/// scaling the fleet without the map would measure congestion collapse, not
+/// the sharded executor).
+fn shard_config(scale: BenchScale) -> SimConfig {
+    let (size_m, vehicles, duration, warmup) = match scale {
+        BenchScale::Smoke => (4000.0, 220, 120, 40),
+        BenchScale::Paper => (4000.0, 700, 200, 70),
+        BenchScale::Large => (12_000.0, 10_000, 60, 20),
+    };
+    let mut cfg = SimConfig::paper_fig3_2(size_m, vehicles, 42);
+    cfg.duration = vanet_des::SimDuration::from_secs(duration);
+    cfg.warmup = vanet_des::SimDuration::from_secs(warmup);
     cfg
 }
 
@@ -469,6 +572,7 @@ mod tests {
             allocs_per_event: allocs,
             queue_resizes: None,
             max_bucket_scan: None,
+            shards: None,
         }
     }
 

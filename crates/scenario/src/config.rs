@@ -78,6 +78,11 @@ pub struct SimConfig {
     /// When set, the run samples protocol diagnostics and cumulative counters at
     /// this period into [`crate::metrics::RunReport::timeline`].
     pub timeline_period: Option<SimDuration>,
+    /// Number of L3-region shards the event queue is split across. One shard
+    /// is the classic sequential run; more shards exercise the conservative
+    /// parallel executor, which must produce byte-identical results (the
+    /// determinism contract tested in `tests/shard_determinism.rs`).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -102,6 +107,7 @@ impl SimConfig {
             wired_backbone: true,
             telemetry_interval: None,
             timeline_period: None,
+            shards: 1,
         }
     }
 
@@ -146,6 +152,7 @@ impl SimConfig {
         if let Some(iv) = self.telemetry_interval {
             assert!(!iv.is_zero(), "telemetry interval must be positive");
         }
+        assert!(self.shards >= 1, "need at least one event-queue shard");
     }
 }
 

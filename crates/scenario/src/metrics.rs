@@ -76,6 +76,25 @@ pub struct RunReport {
     /// Longest bucket-rotation scan any single pop performed (the calendar
     /// queue's worst case; ~1 when bucket width matches the event density).
     pub queue_max_scan: u64,
+    /// Events popped per shard `(scheduled, popped)`, one row per shard. A
+    /// single-shard run has one row; the split across rows depends on the
+    /// shard count (only the totals are shard-invariant).
+    pub shard_counts: Vec<(u64, u64)>,
+    /// Delivery events whose recipient's region mapped to a different shard
+    /// than the one the event was popped from (cross-shard handoffs).
+    /// Shard-count-dependent by construction.
+    pub boundary_events: u64,
+    /// Vehicles observed crossing an L3-region boundary during mobility ticks
+    /// (each crossing counts once). Identical across shard counts.
+    pub shard_migrations: u64,
+    /// Cross-shard events scheduled closer than the conservative lookahead —
+    /// any nonzero value is a violated sync contract. Identical across shard
+    /// counts (and always 0 in a correct run).
+    pub lookahead_violations: u64,
+    /// Lookahead-wide windows the event clock crossed (conservative barrier
+    /// epochs). A pure function of the pop stream, so identical across shard
+    /// counts.
+    pub barrier_epochs: u64,
 }
 
 /// One DES hot phase's aggregated wall-clock cost.
@@ -167,6 +186,11 @@ impl RunReport {
             peak_queue_depth: 0,
             queue_resizes: 0,
             queue_max_scan: 0,
+            shard_counts: Vec::new(),
+            boundary_events: 0,
+            shard_migrations: 0,
+            lookahead_violations: 0,
+            barrier_epochs: 0,
         }
     }
 

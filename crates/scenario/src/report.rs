@@ -123,17 +123,23 @@ fn telemetry_section(samples: &[TelemetrySample]) -> String {
                 .regions
                 .iter()
                 .enumerate()
-                .map(|(i, &(v, _))| (i as f64, v as f64))
+                .map(|(i, &(v, _, _))| (i as f64, v as f64))
                 .collect();
             let ent: Vec<(f64, f64)> = last
                 .regions
                 .iter()
                 .enumerate()
-                .map(|(i, &(_, e))| (i as f64, e as f64))
+                .map(|(i, &(_, e, _))| (i as f64, e as f64))
+                .collect();
+            let evs: Vec<(f64, f64)> = last
+                .regions
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, _, ev))| (i as f64, ev as f64))
                 .collect();
             body.push_str(&chart(
                 "Per-L3-region load at end of run (x = region id)",
-                &[("vehicles", veh), ("table entries", ent)],
+                &[("vehicles", veh), ("table entries", ent), ("events", evs)],
             ));
         }
     }
@@ -270,7 +276,8 @@ mod tests {
             lat_p99: (t > 0).then_some(2.4),
             lat_window: 6,
             drops: [[1, 0, 0, 0, 0], [0; 5], [0; 5], [0; 5]],
-            regions: vec![(30, 18), (25, 40)],
+            barriers: t * 2,
+            regions: vec![(30, 18, 200), (25, 40, 170)],
         }
     }
 
@@ -286,6 +293,7 @@ mod tests {
             allocs_per_event: None,
             queue_resizes: None,
             max_bucket_scan: None,
+            shards: None,
         }
     }
 

@@ -14,12 +14,13 @@ use rand::seq::SliceRandom;
 use rand::RngExt;
 use rlsmp::RlsmpProtocol;
 use std::sync::Arc;
-use vanet_des::{stream_rng, EventQueue, SimDuration, SimTime, StreamId};
+use vanet_des::{stream_rng, ShardedQueue, SimDuration, SimTime, StreamId};
 use vanet_mobility::{
     LightConfig, MapMatcher, MobilityModel, Ns2Trace, TraceReplay, TrafficLights, VehicleId,
 };
 use vanet_net::{
-    Effect, LocationService, NetworkCore, NodeId, NodeRegistry, Transport, WiredNetwork,
+    conservative_lookahead, Effect, LocationService, NetworkCore, NodeId, NodeRegistry, Transport,
+    WiredNetwork,
 };
 use vanet_roadnet::{generate_grid, Partition, RoadNetwork};
 use vanet_trace::{
@@ -125,10 +126,10 @@ impl MobilitySource {
         net: &RoadNetwork,
         lights: &TrafficLights,
         now: SimTime,
-        rng: &mut SmallRng,
+        threads: usize,
     ) -> &[vanet_mobility::MoveSample] {
         match self {
-            MobilitySource::Model(m) => m.step(net, lights, now, rng),
+            MobilitySource::Model(m) => m.step_par(net, lights, now, threads),
             MobilitySource::Replay(r) => r.step(net, now),
         }
     }
@@ -390,31 +391,55 @@ fn drive<L: LocationService>(
     let mut check = check;
     #[cfg(not(feature = "check"))]
     let () = check;
+    // Conservative-sync lookahead, derived for *every* shard count so the
+    // barrier-epoch telemetry is shard-invariant. A degenerate config only
+    // matters when the run is actually sharded — a single shard needs no
+    // cross-shard guarantee and falls back to zero.
+    let shards = cfg.shards;
+    let wired_delay = (!core.wired.is_empty()).then_some(core.wired.link_delay);
+    let lookahead = match conservative_lookahead(&cfg.radio, wired_delay, cfg.mobility.max_speed) {
+        Ok(la) => la,
+        Err(e) => {
+            assert!(shards == 1, "cannot shard this run: {e}");
+            SimDuration::ZERO
+        }
+    };
     // Pre-size the queue from the config: every mobility tick is scheduled up
     // front, and in-flight radio traffic scales with the fleet (~32 pending
     // events per vehicle covers the observed peaks with headroom).
     let tick_count = (cfg.duration.as_micros() / cfg.mobility.tick.as_micros().max(1)) as usize;
-    let mut queue: EventQueue<Ev<L::Payload, L::Timer>> =
-        EventQueue::with_capacity_and_horizon(tick_count + cfg.vehicles * 32 + 64, cfg.duration);
-    let mut mob_rng = stream_rng(cfg.seed, StreamId::Mobility);
+    let mut queue: ShardedQueue<Ev<L::Payload, L::Timer>> =
+        ShardedQueue::with_capacity_and_horizon(
+            shards,
+            lookahead,
+            tick_count + cfg.vehicles * 32 + 64,
+            cfg.duration,
+        )
+        .unwrap_or_else(|e| panic!("cannot shard this run: {e}"));
+    // Shard routing: a delivery belongs to the shard owning the recipient's
+    // current L3 region. Control events (ticks, queries, sampling) live on
+    // shard 0; protocol timers stay on the shard that armed them.
+    let l3_count = partition.l3_count();
+    let shard_of =
+        |reg: &NodeRegistry, to: NodeId| partition.l3_of(reg.pos(to)).0 as usize % shards;
     let mut query_rng = stream_rng(cfg.seed, StreamId::Queries);
 
     // Mobility ticks across the whole run.
     let tick = cfg.mobility.tick;
     let mut t = tick;
     while t <= cfg.duration + SimDuration::ZERO {
-        queue.schedule_at(SimTime::ZERO + t, Ev::Tick);
+        queue.schedule_at(0, SimTime::ZERO + t, Ev::Tick);
         t += tick;
     }
     // The query workload.
     for (at, src, dst) in query_schedule(cfg, deadline, &mut query_rng) {
-        queue.schedule_at(at, Ev::Query(src, dst));
+        queue.schedule_at(0, at, Ev::Query(src, dst));
     }
     // Timeline sampling.
     if let Some(period) = cfg.timeline_period {
         let mut t = period;
         while t <= cfg.duration {
-            queue.schedule_at(SimTime::ZERO + t, Ev::Sample);
+            queue.schedule_at(0, SimTime::ZERO + t, Ev::Sample);
             t += period;
         }
     }
@@ -426,6 +451,7 @@ fn drive<L: LocationService>(
     let mut telemetry = cfg.telemetry_interval.map(TelemetrySampler::new);
     if let Some(sampler) = &telemetry {
         queue.schedule_periodic(
+            0,
             sampler.interval(),
             SimTime::ZERO + cfg.duration,
             false,
@@ -439,12 +465,20 @@ fn drive<L: LocationService>(
     let fx = proto.on_start(&mut core);
     #[cfg(feature = "check")]
     note_fx(&mut check, &fx);
-    apply(&mut queue, fx);
+    apply(&mut queue, fx, &core.registry, &shard_of, 0);
     let joins = model.snapshot(&net);
+    // Per-vehicle L3 region, tracked incrementally: the source of the
+    // migration count and (under `check`) the conservation audit.
+    let mut region_of: Vec<u32> = joins.iter().map(|s| partition.l3_of(s.new_pos).0).collect();
+    let mut shard_migrations = 0u64;
+    let mut boundary_events = 0u64;
+    // Cumulative delivery events attributed to each L3 region (recipient's
+    // region at pop time) — the telemetry shard-balance series.
+    let mut region_events = vec![0u64; l3_count];
     let fx = proto.on_join(&mut core, &joins, SimTime::ZERO);
     #[cfg(feature = "check")]
     note_fx(&mut check, &fx);
-    apply(&mut queue, fx);
+    apply(&mut queue, fx, &core.registry, &shard_of, 0);
 
     // The explicit event loop (same stopping rule as `vanet_des::run_until`:
     // process while the head event's time is `<= horizon`), so the queue pop,
@@ -457,22 +491,30 @@ fn drive<L: LocationService>(
         let popped = core
             .timings
             .time(Phase::EventPop, || queue.pop_if_at_or_before(horizon));
-        let Some((now, ev)) = popped else { break };
+        let Some((now, popped_shard, ev)) = popped else {
+            break;
+        };
         events_processed += 1;
         core.set_trace_now(now);
         match ev {
             Ev::Tick => {
                 let samples = core.timings.time(Phase::MobilityStep, || {
-                    model.step(&net, &lights, now, &mut mob_rng)
+                    model.step(&net, &lights, now, shards)
                 });
                 for s in samples {
                     let node = core.registry.node_of_vehicle(s.id);
                     core.registry.set_pos(node, s.new_pos);
+                    let r = partition.l3_of(s.new_pos).0;
+                    let slot = &mut region_of[s.id.0 as usize];
+                    if *slot != r {
+                        *slot = r;
+                        shard_migrations += 1;
+                    }
                 }
                 let fx = proto.on_move(&mut core, samples, now);
                 #[cfg(feature = "check")]
                 note_fx(&mut check, &fx);
-                apply(&mut queue, fx);
+                apply(&mut queue, fx, &core.registry, &shard_of, 0);
                 // Per-tick protocol audit: location-table soundness against the
                 // registry's ground truth (plus the deliberate-corruption
                 // self-test when armed).
@@ -492,9 +534,49 @@ fn drive<L: LocationService>(
                     ) {
                         cs.oracle.report("table-soundness", detail);
                     }
+                    // Shard-handoff conservation: the incrementally-tracked
+                    // region map must agree with ground truth and account for
+                    // the whole fleet (no vehicle lost or duplicated at an
+                    // L3 boundary crossing).
+                    let mut fresh = vec![0u64; l3_count];
+                    let mut drift = 0usize;
+                    for (v, &r) in region_of.iter().enumerate() {
+                        let node = core.registry.node_of_vehicle(VehicleId(v as u32));
+                        let truth = partition.l3_of(core.registry.pos(node)).0;
+                        if truth != r {
+                            drift += 1;
+                        }
+                        if let Some(slot) = fresh.get_mut(r as usize) {
+                            *slot += 1;
+                        }
+                    }
+                    let total: u64 = fresh.iter().sum();
+                    if drift > 0 || total != region_of.len() as u64 {
+                        cs.oracle.report(
+                            "shard-conservation",
+                            format!(
+                                "at {now}: {drift} vehicles with stale region \
+                                 tracking, {total}/{} accounted for",
+                                region_of.len()
+                            ),
+                        );
+                    }
                 }
             }
             Ev::Deliver(to, transport) => {
+                // The recipient may have migrated since the event was routed:
+                // its *current* shard is the conservative-sync origin of any
+                // follow-up it emits (a popped-shard mismatch is a boundary
+                // handoff, not a violation).
+                let current = shard_of(&core.registry, to);
+                if current != popped_shard {
+                    boundary_events += 1;
+                }
+                let region = partition.l3_of(core.registry.pos(to)).0 as usize;
+                if let Some(slot) = region_events.get_mut(region) {
+                    *slot += 1;
+                }
+                queue.set_origin(Some(current));
                 #[cfg(feature = "check")]
                 let pending = check
                     .as_mut()
@@ -514,26 +596,40 @@ fn drive<L: LocationService>(
                     );
                 }
                 if let Some(e) = more {
-                    queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport));
+                    // Same routing rule as `apply`: zero-delay steps are local.
+                    queue.schedule_after(
+                        if e.delay.is_zero() {
+                            current
+                        } else {
+                            shard_of(&core.registry, e.to)
+                        },
+                        e.delay,
+                        Ev::Deliver(e.to, e.transport),
+                    );
                 }
                 if let Some((class, payload)) = arrived {
                     let fx = proto.on_packet(&mut core, to, class, payload, now);
                     #[cfg(feature = "check")]
                     note_fx(&mut check, &fx);
-                    apply(&mut queue, fx);
+                    apply(&mut queue, fx, &core.registry, &shard_of, current);
                 }
+                queue.set_origin(None);
             }
             Ev::Timer(key) => {
+                // A timer is node-local state on whatever shard armed it, so
+                // its effects originate from the shard it popped on.
+                queue.set_origin(Some(popped_shard));
                 let fx = proto.on_timer(&mut core, key, now);
                 #[cfg(feature = "check")]
                 note_fx(&mut check, &fx);
-                apply(&mut queue, fx);
+                apply(&mut queue, fx, &core.registry, &shard_of, popped_shard);
+                queue.set_origin(None);
             }
             Ev::Query(src, dst) => {
                 let fx = proto.launch_query(&mut core, src, dst, now);
                 #[cfg(feature = "check")]
                 note_fx(&mut check, &fx);
-                apply(&mut queue, fx);
+                apply(&mut queue, fx, &core.registry, &shard_of, 0);
             }
             Ev::Sample => {
                 let completed = proto
@@ -560,6 +656,8 @@ fn drive<L: LocationService>(
                         now,
                         queue.len() as u64,
                         events_processed,
+                        queue.epochs(),
+                        &region_events,
                         &core,
                         &proto,
                         partition,
@@ -578,6 +676,8 @@ fn drive<L: LocationService>(
             horizon,
             queue.len() as u64,
             events_processed,
+            queue.epochs(),
+            &region_events,
             &core,
             &proto,
             partition,
@@ -585,15 +685,22 @@ fn drive<L: LocationService>(
         );
     }
 
-    // Queue self-telemetry, snapshotted before the check-mode drain below can
-    // perturb the scan counters.
+    // Queue self-telemetry and the shard bookkeeping, snapshotted before the
+    // check-mode drain below can perturb the counters.
     let queue_stats = queue.telemetry();
+    let shard_counts: Vec<(u64, u64)> = queue
+        .shard_stats()
+        .iter()
+        .map(|s| (s.scheduled, s.popped))
+        .collect();
+    let lookahead_violations = queue.violations();
+    let barrier_epochs = queue.epochs();
     // End of run: packet conservation over the drained queue, then
     // trace/counter reconciliation if a complete trace rode along.
     #[cfg(feature = "check")]
     if let Some(mut cs) = check.take() {
         let mut leftover = [0u64; 4];
-        while let Some((_, ev)) = queue.pop() {
+        while let Some((_, _, ev)) = queue.pop() {
             if let Ev::Deliver(_, transport) = ev {
                 leftover[vanet_check::class_ix(&transport)] += 1;
             }
@@ -633,6 +740,11 @@ fn drive<L: LocationService>(
     report.peak_queue_depth = peak_queue_depth;
     report.queue_resizes = queue_stats.resizes;
     report.queue_max_scan = queue_stats.max_pop_scan;
+    report.shard_counts = shard_counts;
+    report.boundary_events = boundary_events;
+    report.shard_migrations = shard_migrations;
+    report.lookahead_violations = lookahead_violations;
+    report.barrier_epochs = barrier_epochs;
     let samples = telemetry.map(|s| s.into_samples()).unwrap_or_default();
     (report, core.take_tracer(), samples)
 }
@@ -646,6 +758,8 @@ fn telemetry_tick<L: LocationService>(
     now: SimTime,
     queue_depth: u64,
     events: u64,
+    barriers: u64,
+    region_events: &[u64],
     core: &NetworkCore,
     proto: &L,
     partition: &Partition,
@@ -674,8 +788,10 @@ fn telemetry_tick<L: LocationService>(
         sampler.note_latency(done, latency);
     }
     // Per-L3-region load: vehicles by current position, table entries by the
-    // protocol's homing (zero for protocols without a region hierarchy).
-    let mut regions = vec![(0u64, 0u64); partition.l3_count()];
+    // protocol's homing (zero for protocols without a region hierarchy), and
+    // the cumulative delivery events the harness attributed to the region —
+    // the series a dashboard folds by `region % shards` for shard balance.
+    let mut regions = vec![(0u64, 0u64, 0u64); partition.l3_count()];
     for v in 0..vehicles {
         let node = core.registry.node_of_vehicle(VehicleId(v as u32));
         let r = partition.l3_of(core.registry.pos(node)).0 as usize;
@@ -688,6 +804,9 @@ fn telemetry_tick<L: LocationService>(
     for (slot, e) in regions.iter_mut().zip(&entries) {
         slot.1 = *e;
     }
+    for (slot, ev) in regions.iter_mut().zip(region_events) {
+        slot.2 = *ev;
+    }
     let c = &core.counters;
     let snap = TelemetrySnapshot {
         queue_depth,
@@ -699,16 +818,42 @@ fn telemetry_tick<L: LocationService>(
         query_radio: c.radio(PacketClass::Query),
         query_wired: c.wired(PacketClass::Query),
         drops: c.drop_matrix(),
+        barriers,
         regions,
     };
     sampler.sample(now, &snap);
 }
 
-fn apply<P, T>(queue: &mut EventQueue<Ev<P, T>>, fx: Vec<Effect<P, T>>) {
+/// Schedules a batch of protocol effects: deliveries to the shard owning the
+/// recipient's current region, timers to the shard that emitted them.
+///
+/// Zero-delay deliveries are the exception: they are synchronous local
+/// computation steps (e.g. a GPSR packet arriving at its own origin), not
+/// network hops, so they stay on the emitting shard. Routing them by recipient
+/// region would violate the lookahead contract whenever the emitter's shard
+/// went stale (a timer armed before its vehicle migrated), and the merge is
+/// routing-invariant anyway (see the `shard` module's proptests).
+fn apply<P, T>(
+    queue: &mut ShardedQueue<Ev<P, T>>,
+    fx: Vec<Effect<P, T>>,
+    registry: &NodeRegistry,
+    shard_of: &impl Fn(&NodeRegistry, NodeId) -> usize,
+    origin_shard: usize,
+) {
     for f in fx {
         match f {
-            Effect::Deliver(e) => queue.schedule_after(e.delay, Ev::Deliver(e.to, e.transport)),
-            Effect::Timer { delay, key } => queue.schedule_after(delay, Ev::Timer(key)),
+            Effect::Deliver(e) => queue.schedule_after(
+                if e.delay.is_zero() {
+                    origin_shard
+                } else {
+                    shard_of(registry, e.to)
+                },
+                e.delay,
+                Ev::Deliver(e.to, e.transport),
+            ),
+            Effect::Timer { delay, key } => {
+                queue.schedule_after(origin_shard, delay, Ev::Timer(key))
+            }
         }
     }
 }
@@ -871,10 +1016,10 @@ mod tests {
             }
             // Region breakdown: vehicle totals account for the whole fleet
             // (HLSRG also homes table entries; RLSMP has no region hierarchy).
-            let fleet: u64 = last.regions.iter().map(|&(v, _)| v).sum();
+            let fleet: u64 = last.regions.iter().map(|&(v, _, _)| v).sum();
             assert_eq!(fleet as usize, cfg.vehicles, "{protocol:?}");
             if protocol == Protocol::Hlsrg {
-                let entries: u64 = last.regions.iter().map(|&(_, e)| e).sum();
+                let entries: u64 = last.regions.iter().map(|&(_, e, _)| e).sum();
                 let tables: u64 = last.table_entries.iter().sum();
                 assert_eq!(entries, tables, "region homing covers every table");
             }

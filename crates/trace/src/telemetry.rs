@@ -137,9 +137,14 @@ pub struct TelemetrySample {
     /// `[update, collection, query, data]` × causes
     /// `[ttl, isolated, no_progress, loss, no_route]`.
     pub drops: [[u64; 5]; 4],
+    /// Conservative-sync barrier epochs crossed so far (cumulative). Epochs
+    /// are counted on the simulated clock against the derived lookahead, so
+    /// the value is identical whatever the shard count.
+    pub barriers: u64,
     /// Per-L3-region load, indexed by L3 region id: `(vehicles in region,
-    /// location-table entries homed at the region's infrastructure)`.
-    pub regions: Vec<(u64, u64)>,
+    /// location-table entries homed at the region's infrastructure,
+    /// cumulative delivery events processed for nodes in the region)`.
+    pub regions: Vec<(u64, u64, u64)>,
 }
 
 impl TelemetrySample {
@@ -165,11 +170,11 @@ impl TelemetrySample {
         }
         drops.push(']');
         let mut regions = String::from("[");
-        for (i, (veh, ent)) in self.regions.iter().enumerate() {
+        for (i, (veh, ent, ev)) in self.regions.iter().enumerate() {
             if i > 0 {
                 regions.push(',');
             }
-            regions.push_str(&format!("[{veh},{ent}]"));
+            regions.push_str(&format!("[{veh},{ent},{ev}]"));
         }
         regions.push(']');
         format!(
@@ -177,7 +182,7 @@ impl TelemetrySample {
              \"events_delta\":{},\"events_per_sim_sec\":{:?},\"inflight_queries\":{},\
              \"table_entries\":[{},{},{}],\"updates\":{},\"update_radio\":{},\
              \"query_radio\":{},\"query_wired\":{},\"lat_p50\":{},\"lat_p99\":{},\
-             \"lat_window\":{},\"drops\":{},\"regions\":{}}}",
+             \"lat_window\":{},\"drops\":{},\"barriers\":{},\"regions\":{}}}",
             self.t.as_micros(),
             self.queue_depth,
             self.events,
@@ -195,6 +200,7 @@ impl TelemetrySample {
             opt(self.lat_p99),
             self.lat_window,
             drops,
+            self.barriers,
             regions,
         )
     }
@@ -220,10 +226,10 @@ impl TelemetrySample {
         let regions_rows = parse_nested_array(value(line, "regions")?)?;
         let mut regions = Vec::with_capacity(regions_rows.len());
         for row in &regions_rows {
-            if row.len() != 2 {
+            if row.len() != 3 {
                 return None;
             }
-            regions.push((row[0], row[1]));
+            regions.push((row[0], row[1], row[2]));
         }
         let tables = parse_flat_array(value(line, "table_entries")?)?;
         if tables.len() != 3 {
@@ -254,6 +260,7 @@ impl TelemetrySample {
             lat_p99: opt_f64("lat_p99")?,
             lat_window: num("lat_window")?,
             drops,
+            barriers: num("barriers")?,
             regions,
         })
     }
@@ -338,8 +345,10 @@ pub struct TelemetrySnapshot {
     pub query_wired: u64,
     /// Cumulative drop matrix `[class][cause]`.
     pub drops: [[u64; 5]; 4],
-    /// Per-L3-region `(vehicles, table entries)`.
-    pub regions: Vec<(u64, u64)>,
+    /// Cumulative conservative-sync barrier epochs.
+    pub barriers: u64,
+    /// Per-L3-region `(vehicles, table entries, delivery events)`.
+    pub regions: Vec<(u64, u64, u64)>,
 }
 
 /// The sampling façade: owns the sliding latency window and the accumulated
@@ -404,6 +413,7 @@ impl TelemetrySampler {
             lat_p99: self.window.quantile(0.99),
             lat_window: self.window.len() as u64,
             drops: snap.drops,
+            barriers: snap.barriers,
             regions: snap.regions.clone(),
         });
         self.last_t = t;
@@ -459,7 +469,8 @@ mod tests {
             lat_p99: None,
             lat_window: 8,
             drops: [[1, 0, 2, 0, 0], [0; 5], [0, 0, 0, 3, 1], [0; 5]],
-            regions: vec![(30, 20), (25, 37)],
+            barriers: 6,
+            regions: vec![(30, 20, 410), (25, 37, 385)],
         }
     }
 
@@ -637,7 +648,7 @@ mod proptests {
             tables in proptest::collection::vec(0u64..10_000, 3usize),
             p50 in prop_oneof![Just(None), (0.0f64..100.0).prop_map(Some)],
             drop_cells in proptest::collection::vec(0u64..50, 20usize),
-            regions in proptest::collection::vec((0u64..1000, 0u64..1000), 0..8),
+            regions in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..100_000), 0..8),
         ) {
             let mut drops = [[0u64; 5]; 4];
             for (i, v) in drop_cells.iter().enumerate() {
@@ -659,6 +670,7 @@ mod proptests {
                 lat_p99: p50.map(|x| x * 2.0),
                 lat_window: 5,
                 drops,
+                barriers: events / 13,
                 regions,
             };
             prop_assert_eq!(TelemetrySample::parse_line(&s.to_jsonl()), Some(s));

@@ -46,7 +46,7 @@ fn main() {
     let mut census = TrafficCensus::new(&truth);
     let mut now = SimTime::ZERO;
     for _ in 0..360 {
-        model.step(&truth, &lights, now, &mut rng);
+        model.step(&truth, &lights, now);
         census.observe(model.vehicles());
         now += model.config().tick;
     }

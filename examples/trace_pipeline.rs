@@ -26,7 +26,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(11);
     let mut model = MobilityModel::new(&net, MobilityConfig::default(), vehicles, &mut rng);
     let ticks = (SimTime::from_secs(secs).as_micros() / model.config().tick.as_micros()) as usize;
-    let trace = Ns2Trace::record(&net, &lights, &mut model, ticks, &mut rng);
+    let trace = Ns2Trace::record(&net, &lights, &mut model, ticks);
     let text = trace.to_ns2_text();
     println!(
         "      {} setdest commands, {:.1} KiB of trace text, horizon {}",

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hlsrg run      [--protocol hlsrg|rlsmp] [--vehicles N] [--map-size M] [--seed S]
-//!                [--duration SECS] [--csv] [--trace-out FILE]
+//!                [--duration SECS] [--shards N] [--csv] [--trace-out FILE]
 //!                [--telemetry-out FILE] [--telemetry-interval SECS]
 //! hlsrg figures  [--paper] [--csv]
 //! hlsrg compare  [--vehicles N] [--seed S] [--reps R]
@@ -18,7 +18,7 @@ use hlsrg_suite::mobility::{LightConfig, MobilityConfig, MobilityModel, Ns2Trace
 use hlsrg_suite::roadnet::{generate_grid, to_map_text, GridMapSpec};
 use hlsrg_suite::scenario::{
     fig3_2, fig3_345, replicate_averaged, run_simulation, run_simulation_instrumented,
-    BenchOptions, FigureScale, Protocol, RunReport, SimConfig,
+    BenchOptions, BenchScale, FigureScale, Protocol, RunReport, SimConfig,
 };
 use hlsrg_suite::trace::{cause_name, registry_from_events, TraceEvent};
 use rand::rngs::SmallRng;
@@ -109,6 +109,8 @@ fn usage() {
 commands:
   run      one simulation            --protocol hlsrg|rlsmp  --vehicles N
                                      --map-size M  --seed S  --duration SECS  --csv
+                                     --shards N (region-sharded event queues;
+                                     results are byte-identical for any N)
                                      --trace-out FILE (JSONL event trace)
                                      --telemetry-out FILE (JSONL time series)
                                      --telemetry-interval SECS (default 5)
@@ -126,9 +128,11 @@ commands:
            oracle armed (needs the   --corrupt (arm the table-corruption
            `check` cargo feature)    self-test mutation)
                                      --pool N|auto (fan cases over the job pool)
-  bench    time the canonical        --scale smoke|paper (or HLSRG_BENCH_SCALE)
-           scenarios and append to   --reps N  --threads N  --label NAME
-           the perf trajectory       --out FILE (default BENCH_sim.json)
+  bench    time the canonical        --scale smoke|paper|large (or
+           scenarios and append to   HLSRG_BENCH_SCALE); large = 10k vehicles,
+           the perf trajectory       shard-scaling rows only
+                                     --reps N  --threads N  --label NAME
+                                     --out FILE (default BENCH_sim.json)
                                      --check FILE (validate a trajectory, no runs)
                                      --compare LABEL (diff newest rows vs that
                                      baseline; nonzero exit past --threshold PCT,
@@ -187,6 +191,7 @@ fn config_of(flags: &Flags) -> SimConfig {
     if cfg.warmup + SimDuration::from_secs(10) > cfg.duration {
         cfg.warmup = cfg.duration.mul_f64(0.3);
     }
+    cfg.shards = get(flags, "shards", 1usize).max(1);
     cfg
 }
 
@@ -547,7 +552,7 @@ fn cmd_trace(flags: &Flags) -> ExitCode {
     let mut model = MobilityModel::new(&net, MobilityConfig::default(), vehicles, &mut rng);
     let ticks =
         (SimTime::from_secs_f64(duration).as_micros() / model.config().tick.as_micros()) as usize;
-    let trace = Ns2Trace::record(&net, &lights, &mut model, ticks, &mut rng);
+    let trace = Ns2Trace::record(&net, &lights, &mut model, ticks);
     let text = trace.to_ns2_text();
     match flags.get("out") {
         Some(path) => {
@@ -856,13 +861,9 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
         .cloned()
         .or_else(|| std::env::var("HLSRG_BENCH_SCALE").ok())
         .unwrap_or_else(|| "smoke".into());
-    let scale = match scale_name.as_str() {
-        "smoke" => FigureScale::Smoke,
-        "paper" => FigureScale::Paper,
-        other => {
-            eprintln!("error: unknown bench scale {other:?} (use smoke or paper)");
-            return ExitCode::FAILURE;
-        }
+    let Some(scale) = BenchScale::parse(&scale_name) else {
+        eprintln!("error: unknown bench scale {scale_name:?} (use smoke, paper, or large)");
+        return ExitCode::FAILURE;
     };
     let mut opts = BenchOptions {
         scale,
@@ -883,7 +884,7 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
     let records = run_bench(&opts, &label);
     for r in &records {
         println!(
-            "{:<14} {:>10.1} ms  {:>9} events  {:>11.0} events/s  peak queue {:>6}{}{}",
+            "{:<14} {:>10.1} ms  {:>9} events  {:>11.0} events/s  peak queue {:>6}{}{}{}",
             r.scenario,
             r.wall_ms,
             r.events,
@@ -895,6 +896,10 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
             },
             match r.allocs_per_event {
                 Some(a) => format!("  {a:.1} allocs/event"),
+                None => String::new(),
+            },
+            match r.shards {
+                Some(n) => format!("  {n} shard(s)"),
                 None => String::new(),
             }
         );

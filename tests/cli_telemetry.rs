@@ -165,6 +165,7 @@ fn bench_rec(label: &str, eps: f64) -> BenchRecord {
         allocs_per_event: None,
         queue_resizes: None,
         max_bucket_scan: None,
+        shards: None,
     }
 }
 

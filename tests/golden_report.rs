@@ -62,10 +62,22 @@ fn golden_path(name: &str) -> std::path::PathBuf {
 }
 
 fn check_golden(protocol: Protocol, file: &str) {
-    let report = run_simulation(&golden_config(), protocol);
+    check_golden_sharded(protocol, file, 1);
+}
+
+/// Compares a run at `shards` against the same single-shard golden file: the
+/// region-sharded executor's determinism contract means the committed goldens
+/// also pin every sharded configuration. Regeneration always renders the
+/// single-shard run.
+fn check_golden_sharded(protocol: Protocol, file: &str, shards: usize) {
+    let cfg = SimConfig {
+        shards,
+        ..golden_config()
+    };
+    let report = run_simulation(&cfg, protocol);
     let actual = render(&report);
     let path = golden_path(file);
-    if std::env::var_os("HLSRG_REGEN_GOLDEN").is_some() {
+    if shards == 1 && std::env::var_os("HLSRG_REGEN_GOLDEN").is_some() {
         std::fs::write(&path, &actual).expect("write golden file");
         eprintln!("regenerated {}", path.display());
         return;
@@ -107,4 +119,12 @@ fn hlsrg_report_matches_golden() {
 #[test]
 fn rlsmp_report_matches_golden() {
     check_golden(Protocol::Rlsmp, "rlsmp.txt");
+}
+
+#[test]
+fn sharded_runs_match_the_single_shard_goldens() {
+    for shards in [2, 4] {
+        check_golden_sharded(Protocol::Hlsrg, "hlsrg.txt", shards);
+        check_golden_sharded(Protocol::Rlsmp, "rlsmp.txt", shards);
+    }
 }

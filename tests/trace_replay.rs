@@ -15,7 +15,7 @@ fn record_trace(size: f64, vehicles: usize, secs: u64, seed: u64) -> String {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut model = MobilityModel::new(&net, MobilityConfig::default(), vehicles, &mut rng);
     let ticks = (SimTime::from_secs(secs).as_micros() / model.config().tick.as_micros()) as usize;
-    Ns2Trace::record(&net, &lights, &mut model, ticks, &mut rng).to_ns2_text()
+    Ns2Trace::record(&net, &lights, &mut model, ticks).to_ns2_text()
 }
 
 #[test]
