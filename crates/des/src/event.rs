@@ -157,6 +157,10 @@ pub struct EventQueue<E> {
     /// Reused key buffer for the width sample, so calibration never moves
     /// event payloads.
     key_scratch: Vec<(u64, u64)>,
+    /// Reused staging buffer for [`EventQueue::drain_into`]. Separate from
+    /// `scratch`: a drain can trigger a far-tier migration mid-loop, which
+    /// needs `scratch` for itself.
+    drain_buf: Vec<Scheduled<E>>,
     peak_depth: usize,
     resizes: u64,
     max_pop_scan: u64,
@@ -222,6 +226,7 @@ impl<E> EventQueue<E> {
             scheduled_total: 0,
             scratch: Vec::new(),
             key_scratch: Vec::new(),
+            drain_buf: Vec::new(),
             peak_depth: 0,
             resizes: 0,
             max_pop_scan: 0,
@@ -593,6 +598,102 @@ impl<E> EventQueue<E> {
             return None;
         }
         Some(self.commit_pop(ix))
+    }
+
+    /// Drains every pending event with `time <= horizon` into `out`, appended
+    /// as `(time, event)` pairs in global `(time, seq)` order, and returns how
+    /// many were drained. The clock advances to the last drained timestamp,
+    /// exactly as the equivalent sequence of [`EventQueue::pop_if_at_or_before`]
+    /// calls would; a drain that removes nothing leaves the clock untouched.
+    ///
+    /// This is the bulk form of the bounded pop, and the epoch executor's whole
+    /// reason to exist on the queue side: a same-instant burst of `k` radio
+    /// deliveries shares one bucket, so popping it one event at a time re-scans
+    /// the bucket `k` times — O(k²) per burst. Taking qualifying buckets
+    /// wholesale and sorting once makes the same drain O(k log k).
+    pub fn drain_into(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        debug_assert!(buf.is_empty());
+        let horizon_us = horizon.as_micros() as u128;
+        loop {
+            if self.len == 0 {
+                break;
+            }
+            if self.cal_len() == 0 && self.far_min.0 > horizon {
+                // Everything left waits in the far tier beyond the horizon —
+                // don't pay a migration just to discover that.
+                break;
+            }
+            let Some(ix) = self.find_next() else { break };
+            if self.mins[ix].0 > horizon {
+                break;
+            }
+            // `cur_top` is the exclusive upper µs edge of this bucket's
+            // window: when the whole window is at or before the horizon, the
+            // bucket moves out wholesale.
+            if self.cur_top <= horizon_us + 1 {
+                let taken = self.buckets[ix].len();
+                buf.append(&mut self.buckets[ix]);
+                self.mins[ix] = EMPTY_MIN;
+                self.len -= taken;
+                if taken as u64 > self.max_pop_scan {
+                    self.max_pop_scan = taken as u64;
+                }
+                self.calib_pops += taken as u64;
+                self.calib_scans += taken as u64;
+                self.ops_since_rebuild += taken as u64;
+            } else {
+                // The window straddles the horizon: extract the qualifying
+                // events and stop — the window partition guarantees every
+                // other pending event (later windows, far tier) is strictly
+                // after the horizon.
+                let b = &mut self.buckets[ix];
+                let blen = b.len() as u64;
+                let mut taken = 0usize;
+                let mut min = EMPTY_MIN;
+                let mut i = 0;
+                while i < b.len() {
+                    if b[i].time <= horizon {
+                        buf.push(b.swap_remove(i));
+                        taken += 1;
+                    } else {
+                        let key = (b[i].time, b[i].seq);
+                        if key < min {
+                            min = key;
+                        }
+                        i += 1;
+                    }
+                }
+                self.mins[ix] = min;
+                self.len -= taken;
+                if blen > self.max_pop_scan {
+                    self.max_pop_scan = blen;
+                }
+                self.calib_pops += taken as u64;
+                self.calib_scans += blen;
+                self.ops_since_rebuild += taken as u64;
+                break;
+            }
+        }
+        let drained = buf.len();
+        if drained > 0 {
+            buf.sort_unstable_by_key(|s| (s.time, s.seq));
+            debug_assert!(buf[0].time >= self.now, "drain went back in time");
+            self.now = buf[drained - 1].time;
+            out.reserve(drained);
+            out.extend(buf.drain(..).map(|s| (s.time, s.event)));
+            // One deferred sizing pass for the whole batch (the per-pop width
+            // drift check is pointless here — the batch never re-scanned).
+            if self.calib_pops >= CALIB_WINDOW {
+                self.calib_pops = 0;
+                self.calib_scans = 0;
+            }
+            if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 8 {
+                self.rebuild(self.buckets.len() / 2);
+            }
+        }
+        self.drain_buf = buf;
+        drained
     }
 
     /// Re-buckets the calendar tier into `new_buckets` buckets with a freshly
@@ -1107,6 +1208,118 @@ mod tests {
         }
         assert_eq!(q.telemetry().resizes, 0, "reset queue re-grew its storage");
         assert_eq!(q.storage_capacity(), cap);
+    }
+
+    /// Drives a clone-free differential: `drain_into` must emit exactly the
+    /// stream repeated `pop_if_at_or_before` calls would, with the same
+    /// clock/len after every horizon.
+    fn assert_drain_matches_pops(events: &[(u64, u32)], horizons: &[u64]) {
+        let mut bulk = EventQueue::new();
+        let mut single = EventQueue::new();
+        for &(t, v) in events {
+            bulk.schedule_at(SimTime::from_micros(t), v);
+            single.schedule_at(SimTime::from_micros(t), v);
+        }
+        for &h in horizons {
+            let horizon = SimTime::from_micros(h);
+            let mut got = Vec::new();
+            bulk.drain_into(horizon, &mut got);
+            let mut want = Vec::new();
+            while let Some(e) = single.pop_if_at_or_before(horizon) {
+                want.push(e);
+            }
+            assert_eq!(got, want, "drain diverged at horizon {h}");
+            assert_eq!(bulk.len(), single.len());
+            assert_eq!(bulk.now(), single.now());
+        }
+    }
+
+    #[test]
+    fn drain_into_matches_repeated_bounded_pops() {
+        // Mixed spacing: same-instant bursts, sub-width jitter, sparse tail.
+        let events: Vec<(u64, u32)> = (0..2_000u32)
+            .map(|i| ((i as u64 * 137) % 50_000, i))
+            .chain((0..500u32).map(|i| (7_777, 10_000 + i))) // one-instant burst
+            .chain((0..50u32).map(|i| (10_000_000 + i as u64 * 999_983, 20_000 + i)))
+            .collect();
+        assert_drain_matches_pops(
+            &events,
+            &[
+                0,
+                100,
+                7_776,
+                7_777,
+                7_778,
+                49_999,
+                2_000_000,
+                30_000_000,
+                u64::MAX / 2,
+            ],
+        );
+    }
+
+    #[test]
+    fn drain_into_interleaves_with_schedules_and_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule_at(SimTime::from_micros(i * 10), i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(SimTime::from_micros(95), &mut out), 10);
+        assert_eq!(q.now(), SimTime::from_micros(90));
+        // Schedules behind the (advanced) cursor still pop first.
+        q.schedule_at(SimTime::from_micros(91), 777);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(91), 777)));
+        out.clear();
+        assert_eq!(q.drain_into(SimTime::MAX, &mut out), 90);
+        assert_eq!(
+            out.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            (10..100).collect::<Vec<_>>()
+        );
+        assert!(q.is_empty());
+        // An empty drain below the head moves nothing, not even the clock.
+        q.schedule_at(SimTime::from_secs(10), 1);
+        out.clear();
+        assert_eq!(q.drain_into(SimTime::from_secs(5), &mut out), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), SimTime::from_micros(990));
+    }
+
+    #[test]
+    fn drain_into_pulls_far_tier_in_order() {
+        // new() spans 16 ms; events hours out live in `far` and must migrate
+        // through cleanly mid-drain.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3_600), "hour");
+        q.schedule_at(SimTime::from_millis(1), "soon");
+        q.schedule_at(SimTime::from_secs(86_400), "day");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(SimTime::from_secs(7_200), &mut out), 2);
+        assert_eq!(
+            out.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec!["soon", "hour"]
+        );
+        assert_eq!(q.len(), 1);
+        // Far head beyond the horizon: no migration churn, no clock motion.
+        let resizes = q.telemetry().resizes;
+        out.clear();
+        assert_eq!(q.drain_into(SimTime::from_secs(7_300), &mut out), 0);
+        assert_eq!(q.telemetry().resizes, resizes);
+    }
+
+    #[test]
+    fn drain_into_keeps_same_instant_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10_000u32 {
+            q.schedule_at(t, i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(t, &mut out), 10_000);
+        assert_eq!(
+            out.into_iter().map(|(_, e)| e).collect::<Vec<_>>(),
+            (0..10_000).collect::<Vec<_>>()
+        );
     }
 
     #[test]

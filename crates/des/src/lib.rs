@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod exec;
 pub mod heap;
 pub mod rng;
 pub mod shard;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{run, run_until, Control, EventQueue, QueueTelemetry, RunOutcome};
+pub use exec::EpochExecutor;
 pub use heap::HeapQueue;
 pub use rng::{derive_seed, splitmix64, stream_rng, StreamId};
 pub use shard::{ShardConfigError, ShardStats, ShardedQueue};
@@ -326,6 +328,63 @@ mod proptests {
                 }
             }
             prop_assert_eq!(a.epochs(), b.epochs(), "epoch count must be shard-invariant");
+        }
+
+        /// The epoch executor against the serial sharded reference: random
+        /// schedule/pop/bounded-pop interleavings (no reset — the executor is
+        /// single-run by design) produce identical `(time, shard, event)`
+        /// streams and identical ledgers at 1, 2, and `nshards` worker
+        /// threads. This is the thread-count half of the determinism
+        /// contract: barriers, adaptive epoch spans, and mailbox flushes are
+        /// pure functions of the event set.
+        #[test]
+        fn epoch_executor_matches_sharded_reference(
+            ops in proptest::collection::vec((0u8..9, 0u64..u64::MAX / 2), 1..300),
+            nshards in 1usize..=6,
+            threads in 1usize..=4,
+        ) {
+            let la = SimDuration::from_micros(700);
+            let mut exec = EpochExecutor::new(nshards, threads, la).unwrap();
+            let mut refq = ShardedQueue::new(nshards, la).unwrap();
+            let mut next_payload = 0u64;
+            for &(code, v) in &ops {
+                let shard = (v >> 32) as usize % nshards;
+                match code {
+                    0..=3 => {
+                        let delay = SimDuration::from_micros(match code {
+                            0 | 1 => v % 50_000,
+                            2 => 0,
+                            _ => 10_000_000_000 + v % 1_000_000_000_000,
+                        });
+                        exec.schedule_after(shard, delay, next_payload);
+                        refq.schedule_after(shard, delay, next_payload);
+                        next_payload += 1;
+                    }
+                    4..=6 => {
+                        prop_assert_eq!(exec.pop(), refq.pop(), "pop streams diverged");
+                    }
+                    _ => {
+                        let horizon = refq.now() + SimDuration::from_micros(v % 100_000);
+                        prop_assert_eq!(
+                            exec.pop_if_at_or_before(horizon),
+                            refq.pop_if_at_or_before(horizon),
+                            "bounded pop streams diverged"
+                        );
+                    }
+                }
+                prop_assert_eq!(exec.len(), refq.len());
+                prop_assert_eq!(exec.now(), refq.now());
+                prop_assert_eq!(exec.peek_time(), refq.peek_time());
+                prop_assert_eq!(exec.epochs(), refq.epochs());
+            }
+            loop {
+                let (a, b) = (exec.pop(), refq.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(exec.shard_stats(), refq.shard_stats());
         }
 
         /// Stream derivation is injective in practice over small domains.

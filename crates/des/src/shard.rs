@@ -51,7 +51,7 @@ use crate::time::{SimDuration, SimTime};
 /// Cached head sentinel for an empty shard. The `u64::MAX` sequence marks
 /// emptiness (a real event can fire at `SimTime::MAX` but never draws that
 /// sequence number), so the sentinel loses every comparison against real keys.
-const EMPTY_HEAD: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+pub(crate) const EMPTY_HEAD: (SimTime, u64) = (SimTime::MAX, u64::MAX);
 
 /// Why a [`ShardedQueue`] could not be constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,81 +93,35 @@ pub struct ShardStats {
     pub popped: u64,
 }
 
-/// A set of per-shard [`EventQueue`]s merged into one deterministic pop
-/// stream — see the module docs for the ordering and synchronization
-/// contract. With `shards == 1` this is a thin wrapper over a single
-/// calendar queue.
+/// The bookkeeping half of the conservative-sync contract, shared verbatim by
+/// the serial [`ShardedQueue`] and the threaded [`crate::EpochExecutor`]: the
+/// global sequence counter, the merged clock, the total/peak pending counts,
+/// per-shard stats, epoch-window accounting, and the lookahead-violation
+/// audit. Because both executors funnel every schedule through
+/// [`SyncLedger::on_schedule`] and every committed event through
+/// [`SyncLedger::on_pop`], their observable counters agree *by construction*
+/// — the thread count never touches this state.
 #[derive(Debug)]
-pub struct ShardedQueue<E> {
-    /// One calendar queue per shard; payloads carry their global sequence.
-    shards: Vec<EventQueue<(u64, E)>>,
-    /// Cached head key `(time, global seq)` per shard, [`EMPTY_HEAD`] when
-    /// the shard is empty. The merge argmin touches only these.
-    heads: Vec<(SimTime, u64)>,
-    stats: Vec<ShardStats>,
-    next_seq: u64,
-    len: usize,
-    now: SimTime,
-    peak_depth: usize,
-    lookahead: SimDuration,
+pub(crate) struct SyncLedger {
+    pub(crate) stats: Vec<ShardStats>,
+    pub(crate) next_seq: u64,
+    pub(crate) len: usize,
+    pub(crate) now: SimTime,
+    pub(crate) peak_depth: usize,
+    pub(crate) lookahead: SimDuration,
     /// Exclusive end of the current conservative epoch window.
     epoch_end: SimTime,
-    epochs: u64,
+    pub(crate) epochs: u64,
     /// The shard the driver is currently executing on (None between events /
     /// for control-plane work exempt from the cross-shard contract).
-    origin: Option<usize>,
-    violations: u64,
+    pub(crate) origin: Option<usize>,
+    pub(crate) violations: u64,
 }
 
-impl<E> ShardedQueue<E> {
-    /// Creates an empty sharded queue. `lookahead` is the conservative-sync
-    /// window; it must be strictly positive whenever `shards > 1`.
-    pub fn new(shards: usize, lookahead: SimDuration) -> Result<Self, ShardConfigError> {
-        Self::from_queues(
-            lookahead,
-            (0..Self::checked_shards(shards, lookahead)?)
-                .map(|_| EventQueue::new())
-                .collect(),
-        )
-    }
-
-    /// Creates an empty sharded queue pre-sized for `cap` total pending
-    /// events spread over `horizon` of simulated time (capacity is split
-    /// evenly across the shards).
-    pub fn with_capacity_and_horizon(
-        shards: usize,
-        lookahead: SimDuration,
-        cap: usize,
-        horizon: SimDuration,
-    ) -> Result<Self, ShardConfigError> {
-        let n = Self::checked_shards(shards, lookahead)?;
-        Self::from_queues(
-            lookahead,
-            (0..n)
-                .map(|_| EventQueue::with_capacity_and_horizon((cap / n).max(16), horizon))
-                .collect(),
-        )
-    }
-
-    fn checked_shards(shards: usize, lookahead: SimDuration) -> Result<usize, ShardConfigError> {
-        if shards == 0 {
-            return Err(ShardConfigError::NoShards);
-        }
-        if shards > 1 && lookahead.is_zero() {
-            return Err(ShardConfigError::ZeroLookahead { shards });
-        }
-        Ok(shards)
-    }
-
-    fn from_queues(
-        lookahead: SimDuration,
-        shards: Vec<EventQueue<(u64, E)>>,
-    ) -> Result<Self, ShardConfigError> {
-        let n = shards.len();
-        Ok(ShardedQueue {
-            shards,
-            heads: vec![EMPTY_HEAD; n],
-            stats: vec![ShardStats::default(); n],
+impl SyncLedger {
+    pub(crate) fn new(shards: usize, lookahead: SimDuration) -> Self {
+        SyncLedger {
+            stats: vec![ShardStats::default(); shards],
             next_seq: 0,
             len: 0,
             now: SimTime::ZERO,
@@ -177,82 +131,18 @@ impl<E> ShardedQueue<E> {
             epochs: 0,
             origin: None,
             violations: 0,
-        })
+        }
     }
 
-    /// Number of shards.
-    #[inline]
-    pub fn num_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The conservative-sync lookahead window.
-    #[inline]
-    pub fn lookahead(&self) -> SimDuration {
-        self.lookahead
-    }
-
-    /// The current simulation time: the timestamp of the last event popped.
-    #[inline]
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Total events pending across every shard.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if no events are pending on any shard.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Total number of events ever scheduled (the global sequence counter).
-    #[inline]
-    pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
-    }
-
-    /// Cross-shard schedules that landed closer than the lookahead — see the
-    /// module docs. Zero at end of run is the conservative-safety proof.
-    #[inline]
-    pub fn violations(&self) -> u64 {
-        self.violations
-    }
-
-    /// Conservative epoch barriers crossed so far: how many `lookahead`-wide
-    /// windows the pop clock has advanced through. A pure function of the
-    /// pop stream and the lookahead, so identical across shard counts.
-    #[inline]
-    pub fn epochs(&self) -> u64 {
-        self.epochs
-    }
-
-    /// Per-shard scheduled/popped counters.
-    #[inline]
-    pub fn shard_stats(&self) -> &[ShardStats] {
-        &self.stats
-    }
-
-    /// Declares the shard the driver is currently executing on; schedules
-    /// issued while an origin is set are checked against the cross-shard
-    /// lookahead contract. Pass `None` for control-plane work exempt from it.
-    #[inline]
-    pub fn set_origin(&mut self, origin: Option<usize>) {
-        debug_assert!(origin.is_none_or(|o| o < self.shards.len()));
-        self.origin = origin;
-    }
-
-    /// Schedules `event` on `shard` to fire at absolute time `at`.
+    /// Books one schedule targeting `shard` at `at`: runs the cross-shard
+    /// lookahead audit against the declared origin, bumps the pending/peak
+    /// counts, and returns the drawn global sequence number.
     ///
     /// # Panics
     ///
-    /// Panics if `shard` is out of range or `at` is earlier than the current
-    /// merged time (scheduling into the past is always a protocol bug).
-    pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: E) {
+    /// Panics if `at` is earlier than the merged clock — scheduling into the
+    /// past is always a protocol bug.
+    pub(crate) fn on_schedule(&mut self, shard: usize, at: SimTime) -> u64 {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={}, at={}",
@@ -283,6 +173,182 @@ impl<E> ShardedQueue<E> {
             self.peak_depth = self.len;
         }
         self.stats[shard].scheduled += 1;
+        gseq
+    }
+
+    /// Books one committed pop from `shard` at `t`: advances the merged clock
+    /// and the epoch-window count.
+    pub(crate) fn on_pop(&mut self, shard: usize, t: SimTime) {
+        self.len -= 1;
+        self.stats[shard].popped += 1;
+        debug_assert!(t >= self.now, "sharded queue went back in time");
+        self.now = t;
+        if !self.lookahead.is_zero() && t >= self.epoch_end {
+            self.epochs += 1;
+            self.epoch_end = t.checked_add(self.lookahead).unwrap_or(SimTime::MAX);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stats.fill(ShardStats::default());
+        self.next_seq = 0;
+        self.len = 0;
+        self.now = SimTime::ZERO;
+        self.peak_depth = 0;
+        self.epoch_end = SimTime::ZERO
+            .checked_add(self.lookahead)
+            .unwrap_or(SimTime::MAX);
+        self.epochs = 0;
+        self.origin = None;
+        self.violations = 0;
+    }
+}
+
+/// Validates a `(shards, lookahead)` pair for any conservative executor —
+/// shared by [`ShardedQueue`] and [`crate::EpochExecutor`].
+pub(crate) fn checked_shards(
+    shards: usize,
+    lookahead: SimDuration,
+) -> Result<usize, ShardConfigError> {
+    if shards == 0 {
+        return Err(ShardConfigError::NoShards);
+    }
+    if shards > 1 && lookahead.is_zero() {
+        return Err(ShardConfigError::ZeroLookahead { shards });
+    }
+    Ok(shards)
+}
+
+/// A set of per-shard [`EventQueue`]s merged into one deterministic pop
+/// stream — see the module docs for the ordering and synchronization
+/// contract. With `shards == 1` this is a thin wrapper over a single
+/// calendar queue.
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    /// One calendar queue per shard; payloads carry their global sequence.
+    shards: Vec<EventQueue<(u64, E)>>,
+    /// Cached head key `(time, global seq)` per shard, [`EMPTY_HEAD`] when
+    /// the shard is empty. The merge argmin touches only these.
+    heads: Vec<(SimTime, u64)>,
+    ledger: SyncLedger,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Creates an empty sharded queue. `lookahead` is the conservative-sync
+    /// window; it must be strictly positive whenever `shards > 1`.
+    pub fn new(shards: usize, lookahead: SimDuration) -> Result<Self, ShardConfigError> {
+        Self::from_queues(
+            lookahead,
+            (0..checked_shards(shards, lookahead)?)
+                .map(|_| EventQueue::new())
+                .collect(),
+        )
+    }
+
+    /// Creates an empty sharded queue pre-sized for `cap` total pending
+    /// events spread over `horizon` of simulated time (capacity is split
+    /// evenly across the shards).
+    pub fn with_capacity_and_horizon(
+        shards: usize,
+        lookahead: SimDuration,
+        cap: usize,
+        horizon: SimDuration,
+    ) -> Result<Self, ShardConfigError> {
+        let n = checked_shards(shards, lookahead)?;
+        Self::from_queues(
+            lookahead,
+            (0..n)
+                .map(|_| EventQueue::with_capacity_and_horizon((cap / n).max(16), horizon))
+                .collect(),
+        )
+    }
+
+    fn from_queues(
+        lookahead: SimDuration,
+        shards: Vec<EventQueue<(u64, E)>>,
+    ) -> Result<Self, ShardConfigError> {
+        let n = shards.len();
+        Ok(ShardedQueue {
+            shards,
+            heads: vec![EMPTY_HEAD; n],
+            ledger: SyncLedger::new(n, lookahead),
+        })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative-sync lookahead window.
+    #[inline]
+    pub fn lookahead(&self) -> SimDuration {
+        self.ledger.lookahead
+    }
+
+    /// The current simulation time: the timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.ledger.now
+    }
+
+    /// Total events pending across every shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ledger.len
+    }
+
+    /// True if no events are pending on any shard.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ledger.len == 0
+    }
+
+    /// Total number of events ever scheduled (the global sequence counter).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.ledger.next_seq
+    }
+
+    /// Cross-shard schedules that landed closer than the lookahead — see the
+    /// module docs. Zero at end of run is the conservative-safety proof.
+    #[inline]
+    pub fn violations(&self) -> u64 {
+        self.ledger.violations
+    }
+
+    /// Conservative epoch barriers crossed so far: how many `lookahead`-wide
+    /// windows the pop clock has advanced through. A pure function of the
+    /// pop stream and the lookahead, so identical across shard counts.
+    #[inline]
+    pub fn epochs(&self) -> u64 {
+        self.ledger.epochs
+    }
+
+    /// Per-shard scheduled/popped counters.
+    #[inline]
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.ledger.stats
+    }
+
+    /// Declares the shard the driver is currently executing on; schedules
+    /// issued while an origin is set are checked against the cross-shard
+    /// lookahead contract. Pass `None` for control-plane work exempt from it.
+    #[inline]
+    pub fn set_origin(&mut self, origin: Option<usize>) {
+        debug_assert!(origin.is_none_or(|o| o < self.shards.len()));
+        self.ledger.origin = origin;
+    }
+
+    /// Schedules `event` on `shard` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `at` is earlier than the current
+    /// merged time (scheduling into the past is always a protocol bug).
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: E) {
+        let gseq = self.ledger.on_schedule(shard, at);
         let key = (at, gseq);
         if key < self.heads[shard] {
             self.heads[shard] = key;
@@ -294,7 +360,7 @@ impl<E> ShardedQueue<E> {
     /// time.
     #[inline]
     pub fn schedule_after(&mut self, shard: usize, delay: SimDuration, event: E) {
-        self.schedule_at(shard, self.now + delay, event);
+        self.schedule_at(shard, self.ledger.now + delay, event);
     }
 
     /// Schedules one `make()` event on `shard` at every multiple of `period`
@@ -313,7 +379,7 @@ impl<E> ShardedQueue<E> {
         mut make: impl FnMut() -> E,
     ) {
         assert!(period > SimDuration::ZERO, "periodic events need a period");
-        let mut t = self.now + period;
+        let mut t = self.ledger.now + period;
         while t < end {
             self.schedule_at(shard, t, make());
             t += period;
@@ -345,14 +411,7 @@ impl<E> ShardedQueue<E> {
             .peek_entry()
             .map(|(ht, head)| (ht, head.0))
             .unwrap_or(EMPTY_HEAD);
-        self.len -= 1;
-        self.stats[s].popped += 1;
-        debug_assert!(t >= self.now, "sharded queue went back in time");
-        self.now = t;
-        if !self.lookahead.is_zero() && t >= self.epoch_end {
-            self.epochs += 1;
-            self.epoch_end = t.checked_add(self.lookahead).unwrap_or(SimTime::MAX);
-        }
+        self.ledger.on_pop(s, t);
         (t, s, event)
     }
 
@@ -385,7 +444,7 @@ impl<E> ShardedQueue<E> {
     /// sum, and the width is the widest shard's (the least calibrated one).
     pub fn telemetry(&self) -> QueueTelemetry {
         let mut t = QueueTelemetry {
-            peak_depth: self.peak_depth,
+            peak_depth: self.ledger.peak_depth,
             ..QueueTelemetry::default()
         };
         for q in &self.shards {
@@ -406,17 +465,7 @@ impl<E> ShardedQueue<E> {
             q.reset();
         }
         self.heads.fill(EMPTY_HEAD);
-        self.stats.fill(ShardStats::default());
-        self.next_seq = 0;
-        self.len = 0;
-        self.now = SimTime::ZERO;
-        self.peak_depth = 0;
-        self.epoch_end = SimTime::ZERO
-            .checked_add(self.lookahead)
-            .unwrap_or(SimTime::MAX);
-        self.epochs = 0;
-        self.origin = None;
-        self.violations = 0;
+        self.ledger.reset();
     }
 }
 

@@ -32,11 +32,16 @@ pub fn deliveries<P, T>(emissions: Vec<Emission<P>>) -> Vec<Effect<P, T>> {
 }
 
 /// A location-service protocol under test.
+///
+/// Payload and timer types must be `Send + 'static`: scheduled events carry
+/// them across the epoch executor's worker-thread boundary (`run --shards N
+/// --threads M`), even though handlers themselves only ever run on the
+/// commit thread.
 pub trait LocationService {
     /// Wire payload type.
-    type Payload: Clone + std::fmt::Debug;
+    type Payload: Clone + std::fmt::Debug + Send + 'static;
     /// Timer payload type.
-    type Timer: Clone + std::fmt::Debug;
+    type Timer: Clone + std::fmt::Debug + Send + 'static;
 
     /// Called once at t = 0 before any other hook; protocols arm their periodic
     /// timers (collection pushes, aggregation) here.

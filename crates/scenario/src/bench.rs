@@ -110,6 +110,10 @@ pub struct BenchRecord {
     /// Event-queue shard count for the shard-scaling scenarios (absent in
     /// single-queue rows and rows recorded before region sharding).
     pub shards: Option<u64>,
+    /// Worker-thread count for the thread-scaling scenarios (absent in rows
+    /// recorded before the epoch executor and in rows that use the default
+    /// inline execution).
+    pub threads: Option<u64>,
 }
 
 impl BenchRecord {
@@ -127,7 +131,7 @@ impl BenchRecord {
             "{{\"label\":\"{}\",\"scale\":\"{}\",\"scenario\":\"{}\",\"wall_ms\":{:?},\
              \"events\":{},\"events_per_sec\":{:?},\"peak_queue_depth\":{},\
              \"allocs_per_event\":{},\"queue_resizes\":{},\"max_bucket_scan\":{},\
-             \"shards\":{}}}",
+             \"shards\":{},\"threads\":{}}}",
             self.label,
             self.scale,
             self.scenario,
@@ -139,6 +143,7 @@ impl BenchRecord {
             opt_u64(self.queue_resizes),
             opt_u64(self.max_bucket_scan),
             opt_u64(self.shards),
+            opt_u64(self.threads),
         )
     }
 
@@ -159,6 +164,7 @@ impl BenchRecord {
             queue_resizes: None,
             max_bucket_scan: None,
             shards: None,
+            threads: None,
         };
         let mut required = 0u32;
         for field in body.split(',') {
@@ -204,6 +210,14 @@ impl BenchRecord {
                 }
                 "shards" => {
                     rec.shards = if value == "null" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    };
+                    continue; // optional: not counted toward `required`
+                }
+                "threads" => {
+                    rec.threads = if value == "null" {
                         None
                     } else {
                         Some(value.parse().ok()?)
@@ -287,7 +301,7 @@ pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// one single-run scenario per protocol, and the shard-scaling rows. At
 /// [`BenchScale::Large`] only the shard rows run, on the 10k-vehicle config.
 pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
-    let mut measured: Vec<(Measured, Option<u64>)> = Vec::new();
+    let mut measured: Vec<(Measured, Option<u64>, Option<u64>)> = Vec::new();
 
     if let Some(fig_scale) = match opts.scale {
         BenchScale::Smoke => Some(FigureScale::Smoke),
@@ -313,6 +327,7 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                     .collect()
             }),
             None,
+            None,
         ));
 
         // Single paper-headline runs, one per protocol (no replication
@@ -328,6 +343,7 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                 measure(opts, name, move || {
                     vec![crate::runner::run_simulation(&cfg, protocol)]
                 }),
+                None,
                 None,
             ));
         }
@@ -352,12 +368,35 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                 vec![crate::runner::run_simulation(&cfg, Protocol::Hlsrg)]
             }),
             Some(shards as u64),
+            None,
+        ));
+    }
+
+    // Thread scaling: the 4-shard scenario with the epoch executor's worker
+    // pool at 1/2/4 threads. The determinism contract holds across thread
+    // counts too, so — like the shard rows — only wall time can move.
+    for (name, threads) in [
+        ("hlsrg_shards4_threads1", 1usize),
+        ("hlsrg_shards4_threads2", 2),
+        ("hlsrg_shards4_threads4", 4),
+    ] {
+        let cfg = SimConfig {
+            shards: 4,
+            threads,
+            ..shard_base.clone()
+        };
+        measured.push((
+            measure(opts, name, move || {
+                vec![crate::runner::run_simulation(&cfg, Protocol::Hlsrg)]
+            }),
+            Some(4),
+            Some(threads as u64),
         ));
     }
 
     measured
         .into_iter()
-        .map(|(m, shards)| {
+        .map(|(m, shards, threads)| {
             let secs = m.wall_ms / 1e3;
             BenchRecord {
                 label: label.to_string(),
@@ -375,6 +414,7 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
                 queue_resizes: Some(m.queue_resizes),
                 max_bucket_scan: Some(m.max_bucket_scan),
                 shards,
+                threads,
             }
         })
         .collect()
@@ -573,6 +613,7 @@ mod tests {
             queue_resizes: None,
             max_bucket_scan: None,
             shards: None,
+            threads: None,
         }
     }
 
@@ -585,6 +626,10 @@ mod tests {
         let mut r = rec("pr4-post", "figure_sweep", None);
         r.queue_resizes = Some(3);
         r.max_bucket_scan = Some(17);
+        assert_eq!(BenchRecord::parse_line(&r.to_json()), Some(r));
+        let mut r = rec("pr8-post", "hlsrg_shards4_threads2", None);
+        r.shards = Some(4);
+        r.threads = Some(2);
         assert_eq!(BenchRecord::parse_line(&r.to_json()), Some(r));
     }
 

@@ -83,6 +83,11 @@ pub struct SimConfig {
     /// parallel executor, which must produce byte-identical results (the
     /// determinism contract tested in `tests/shard_determinism.rs`).
     pub shards: usize,
+    /// Worker threads driving the shard queues (clamped to `1..=shards`).
+    /// With one thread the epoch executor runs inline; more threads move
+    /// per-shard queue mechanics onto a pool while handlers stay on the
+    /// commit thread, so the thread count never changes any output byte.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -108,6 +113,7 @@ impl SimConfig {
             telemetry_interval: None,
             timeline_period: None,
             shards: 1,
+            threads: 1,
         }
     }
 
@@ -153,6 +159,7 @@ impl SimConfig {
             assert!(!iv.is_zero(), "telemetry interval must be positive");
         }
         assert!(self.shards >= 1, "need at least one event-queue shard");
+        assert!(self.threads >= 1, "need at least one executor thread");
     }
 }
 

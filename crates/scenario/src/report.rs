@@ -294,6 +294,7 @@ mod tests {
             queue_resizes: None,
             max_bucket_scan: None,
             shards: None,
+            threads: None,
         }
     }
 

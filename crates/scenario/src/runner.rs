@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::RngExt;
 use rlsmp::RlsmpProtocol;
 use std::sync::Arc;
-use vanet_des::{stream_rng, ShardedQueue, SimDuration, SimTime, StreamId};
+use vanet_des::{stream_rng, EpochExecutor, ShardedQueue, SimDuration, SimTime, StreamId};
 use vanet_mobility::{
     LightConfig, MapMatcher, MobilityModel, Ns2Trace, TraceReplay, TrafficLights, VehicleId,
 };
@@ -105,6 +105,105 @@ enum Ev<P, T> {
     Sample,
     /// Take a telemetry sample.
     Telemetry,
+}
+
+/// The run's executor, picked by shard count: one shard keeps the classic
+/// serial [`ShardedQueue`] (the untouched default path); real sharded runs go
+/// through the [`EpochExecutor`], inline at one thread or on a worker pool at
+/// more. Both produce the identical `(time, global seq)` pop stream, so the
+/// choice — like the shard count and the thread count — is invisible in every
+/// output byte (pinned by `tests/shard_determinism.rs`).
+enum Q<E: Send + 'static> {
+    Serial(ShardedQueue<E>),
+    Epoch(Box<EpochExecutor<E>>),
+}
+
+impl<E: Send + 'static> Q<E> {
+    fn schedule_at(&mut self, shard: usize, at: SimTime, event: E) {
+        match self {
+            Q::Serial(q) => q.schedule_at(shard, at, event),
+            Q::Epoch(q) => q.schedule_at(shard, at, event),
+        }
+    }
+
+    fn schedule_after(&mut self, shard: usize, delay: SimDuration, event: E) {
+        match self {
+            Q::Serial(q) => q.schedule_after(shard, delay, event),
+            Q::Epoch(q) => q.schedule_after(shard, delay, event),
+        }
+    }
+
+    fn schedule_periodic(
+        &mut self,
+        shard: usize,
+        period: SimDuration,
+        end: SimTime,
+        inclusive: bool,
+        make: impl FnMut() -> E,
+    ) {
+        match self {
+            Q::Serial(q) => q.schedule_periodic(shard, period, end, inclusive, make),
+            Q::Epoch(q) => q.schedule_periodic(shard, period, end, inclusive, make),
+        }
+    }
+
+    fn set_origin(&mut self, origin: Option<usize>) {
+        match self {
+            Q::Serial(q) => q.set_origin(origin),
+            Q::Epoch(q) => q.set_origin(origin),
+        }
+    }
+
+    /// Only the check-mode end-of-run drain pops unbounded.
+    #[cfg(feature = "check")]
+    fn pop(&mut self) -> Option<(SimTime, usize, E)> {
+        match self {
+            Q::Serial(q) => q.pop(),
+            Q::Epoch(q) => q.pop(),
+        }
+    }
+
+    fn pop_if_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, usize, E)> {
+        match self {
+            Q::Serial(q) => q.pop_if_at_or_before(horizon),
+            Q::Epoch(q) => q.pop_if_at_or_before(horizon),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Q::Serial(q) => q.len(),
+            Q::Epoch(q) => q.len(),
+        }
+    }
+
+    fn epochs(&self) -> u64 {
+        match self {
+            Q::Serial(q) => q.epochs(),
+            Q::Epoch(q) => q.epochs(),
+        }
+    }
+
+    fn violations(&self) -> u64 {
+        match self {
+            Q::Serial(q) => q.violations(),
+            Q::Epoch(q) => q.violations(),
+        }
+    }
+
+    fn shard_stats(&self) -> &[vanet_des::ShardStats] {
+        match self {
+            Q::Serial(q) => q.shard_stats(),
+            Q::Epoch(q) => q.shard_stats(),
+        }
+    }
+
+    fn telemetry(&mut self) -> vanet_des::QueueTelemetry {
+        match self {
+            Q::Serial(q) => q.telemetry(),
+            Q::Epoch(q) => q.telemetry(),
+        }
+    }
 }
 
 /// The run's vehicle source: the native kinematic model or an ns-2 trace replay.
@@ -408,14 +507,35 @@ fn drive<L: LocationService>(
     // front, and in-flight radio traffic scales with the fleet (~32 pending
     // events per vehicle covers the observed peaks with headroom).
     let tick_count = (cfg.duration.as_micros() / cfg.mobility.tick.as_micros().max(1)) as usize;
-    let mut queue: ShardedQueue<Ev<L::Payload, L::Timer>> =
-        ShardedQueue::with_capacity_and_horizon(
-            shards,
-            lookahead,
-            tick_count + cfg.vehicles * 32 + 64,
-            cfg.duration,
+    let threads = cfg.threads.clamp(1, shards);
+    let deliveries_cap = cfg.vehicles * 32;
+    // Control-plane events (ticks, queries, samplers) all live on shard 0, on
+    // top of its delivery share — size it for both so smoke-scale sharded
+    // runs stop re-growing their queues mid-run.
+    let control_cap = tick_count + cfg.vehicles / 8 + 64;
+    let mut queue: Q<Ev<L::Payload, L::Timer>> = if shards == 1 {
+        Q::Serial(
+            ShardedQueue::with_capacity_and_horizon(
+                1,
+                lookahead,
+                tick_count + deliveries_cap + 64,
+                cfg.duration,
+            )
+            .unwrap_or_else(|e| panic!("cannot shard this run: {e}")),
         )
-        .unwrap_or_else(|e| panic!("cannot shard this run: {e}"));
+    } else {
+        let mut caps = vec![(deliveries_cap / shards).max(16); shards];
+        caps[0] += control_cap;
+        Q::Epoch(Box::new(
+            EpochExecutor::with_shard_capacities_and_horizon(
+                threads,
+                lookahead,
+                &caps,
+                cfg.duration,
+            )
+            .unwrap_or_else(|e| panic!("cannot shard this run: {e}")),
+        ))
+    };
     // Shard routing: a delivery belongs to the shard owning the recipient's
     // current L3 region. Control events (ticks, queries, sampling) live on
     // shard 0; protocol timers stay on the shard that armed them.
@@ -499,7 +619,7 @@ fn drive<L: LocationService>(
         match ev {
             Ev::Tick => {
                 let samples = core.timings.time(Phase::MobilityStep, || {
-                    model.step(&net, &lights, now, shards)
+                    model.step(&net, &lights, now, threads)
                 });
                 for s in samples {
                     let node = core.registry.node_of_vehicle(s.id);
@@ -833,8 +953,8 @@ fn telemetry_tick<L: LocationService>(
 /// region would violate the lookahead contract whenever the emitter's shard
 /// went stale (a timer armed before its vehicle migrated), and the merge is
 /// routing-invariant anyway (see the `shard` module's proptests).
-fn apply<P, T>(
-    queue: &mut ShardedQueue<Ev<P, T>>,
+fn apply<P: Send + 'static, T: Send + 'static>(
+    queue: &mut Q<Ev<P, T>>,
     fx: Vec<Effect<P, T>>,
     registry: &NodeRegistry,
     shard_of: &impl Fn(&NodeRegistry, NodeId) -> usize,

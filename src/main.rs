@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hlsrg run      [--protocol hlsrg|rlsmp] [--vehicles N] [--map-size M] [--seed S]
-//!                [--duration SECS] [--shards N] [--csv] [--trace-out FILE]
+//!                [--duration SECS] [--shards N] [--threads N] [--csv] [--trace-out FILE]
 //!                [--telemetry-out FILE] [--telemetry-interval SECS]
 //! hlsrg figures  [--paper] [--csv]
 //! hlsrg compare  [--vehicles N] [--seed S] [--reps R]
@@ -111,6 +111,9 @@ commands:
                                      --map-size M  --seed S  --duration SECS  --csv
                                      --shards N (region-sharded event queues;
                                      results are byte-identical for any N)
+                                     --threads N (worker threads driving the
+                                     shards; default N = shards, also
+                                     byte-identical for any count)
                                      --trace-out FILE (JSONL event trace)
                                      --telemetry-out FILE (JSONL time series)
                                      --telemetry-interval SECS (default 5)
@@ -192,6 +195,7 @@ fn config_of(flags: &Flags) -> SimConfig {
         cfg.warmup = cfg.duration.mul_f64(0.3);
     }
     cfg.shards = get(flags, "shards", 1usize).max(1);
+    cfg.threads = get(flags, "threads", cfg.shards).max(1);
     cfg
 }
 
@@ -898,9 +902,10 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
                 Some(a) => format!("  {a:.1} allocs/event"),
                 None => String::new(),
             },
-            match r.shards {
-                Some(n) => format!("  {n} shard(s)"),
-                None => String::new(),
+            match (r.shards, r.threads) {
+                (Some(s), Some(t)) => format!("  {s} shard(s) / {t} thread(s)"),
+                (Some(s), None) => format!("  {s} shard(s)"),
+                _ => String::new(),
             }
         );
     }

@@ -166,6 +166,7 @@ fn bench_rec(label: &str, eps: f64) -> BenchRecord {
         queue_resizes: None,
         max_bucket_scan: None,
         shards: None,
+        threads: None,
     }
 }
 

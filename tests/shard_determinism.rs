@@ -34,6 +34,16 @@ fn sharded(cfg: &SimConfig, shards: usize) -> SimConfig {
     }
 }
 
+fn threaded(cfg: &SimConfig, shards: usize, threads: usize) -> SimConfig {
+    SimConfig {
+        shards,
+        threads,
+        ..cfg.clone()
+    }
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
 /// Every report field that must be identical across shard counts, rendered to
 /// one comparable string. Excluded as shard-count-dependent by construction:
 /// `shard_counts` (one row per shard) and `boundary_events` (counts handoffs
@@ -147,6 +157,66 @@ fn sharded_telemetry_is_byte_identical() {
     }
 }
 
+/// The thread matrix: at a fixed shard count the worker-thread count is pure
+/// mechanism — per-shard queue mechanics move onto a pool while every handler
+/// still runs on the commit thread in global `(time, seq)` order — so reports
+/// must be byte-identical to the single-shard run at every thread count.
+#[test]
+fn threaded_reports_are_byte_identical_across_thread_counts() {
+    for protocol in [Protocol::Hlsrg, Protocol::Rlsmp] {
+        let base_cfg = multi_l3_cfg(42);
+        let want = fingerprint(&run_simulation(&base_cfg, protocol));
+        for threads in THREAD_COUNTS {
+            let got = run_simulation(&threaded(&base_cfg, 4, threads), protocol);
+            assert_eq!(got.lookahead_violations, 0, "sync contract violated");
+            assert_eq!(
+                fingerprint(&got),
+                want,
+                "{protocol:?} report drifted at 4 shards / {threads} threads"
+            );
+        }
+    }
+}
+
+/// Traces and telemetry streams — the full serialized observable surface —
+/// stay byte-identical across worker-thread counts.
+#[test]
+fn threaded_traces_and_telemetry_are_byte_identical() {
+    let base_cfg = SimConfig {
+        telemetry_interval: Some(SimDuration::from_secs(10)),
+        ..multi_l3_cfg(7)
+    };
+    let (_, trace_want) = run_simulation_traced(&base_cfg, Protocol::Hlsrg);
+    let trace_want = trace_want.to_jsonl();
+    let (_, _, samples) = run_simulation_instrumented(&base_cfg, Protocol::Hlsrg, false);
+    let tele_want = vanet_trace::telemetry_to_jsonl(&samples);
+    for threads in THREAD_COUNTS {
+        let cfg = threaded(&base_cfg, 4, threads);
+        let (_, tracer) = run_simulation_traced(&cfg, Protocol::Hlsrg);
+        assert_eq!(
+            tracer.to_jsonl(),
+            trace_want,
+            "trace drifted at 4 shards / {threads} threads"
+        );
+        let (_, _, samples) = run_simulation_instrumented(&cfg, Protocol::Hlsrg, false);
+        assert_eq!(
+            vanet_trace::telemetry_to_jsonl(&samples),
+            tele_want,
+            "telemetry drifted at 4 shards / {threads} threads"
+        );
+    }
+}
+
+/// A thread count above the shard count clamps down to one worker per shard
+/// instead of failing; output bytes are unchanged.
+#[test]
+fn oversubscribed_thread_count_clamps_to_shards() {
+    let base_cfg = multi_l3_cfg(42);
+    let want = fingerprint(&run_simulation(&sharded(&base_cfg, 2), Protocol::Hlsrg));
+    let got = run_simulation(&threaded(&base_cfg, 2, 16), Protocol::Hlsrg);
+    assert_eq!(fingerprint(&got), want, "clamped thread count drifted");
+}
+
 /// Vehicles migrate between L3 regions in any healthy scenario; the migration
 /// count is part of the determinism surface (compared in `fingerprint`), and
 /// a quick_demo run must actually exercise the boundary-crossing machinery.
@@ -212,5 +282,33 @@ fn checked_sharded_runs_are_clean_and_identical() {
                 "{protocol:?} checked report drifted at {shards} shards"
             );
         }
+    }
+}
+
+/// The invariant oracle also stays silent under the thread matrix, and the
+/// checked counters match the single-shard run byte for byte.
+#[cfg(feature = "check")]
+#[test]
+fn checked_threaded_runs_are_clean_and_identical() {
+    use hlsrg_suite::scenario::{run_simulation_checked, CheckSetup};
+    let base_cfg = multi_l3_cfg(42);
+    let (base, v) = run_simulation_checked(&base_cfg, Protocol::Hlsrg, &CheckSetup::default());
+    assert!(v.is_none(), "oracle flagged the single-shard run: {v:?}");
+    let want = fingerprint(&base);
+    for threads in THREAD_COUNTS {
+        let (got, v) = run_simulation_checked(
+            &threaded(&base_cfg, 4, threads),
+            Protocol::Hlsrg,
+            &CheckSetup::default(),
+        );
+        assert!(
+            v.is_none(),
+            "oracle flagged 4 shards / {threads} threads: {v:?}"
+        );
+        assert_eq!(
+            fingerprint(&got),
+            want,
+            "checked report drifted at 4 shards / {threads} threads"
+        );
     }
 }
