@@ -123,7 +123,9 @@ type DrainedShard<E> = (usize, Vec<(SimTime, (u64, E))>, (SimTime, u64));
 
 /// Worker → commit thread replies (tagged; all workers share one channel).
 enum FromWorker<E> {
-    Epoch { shards: Vec<DrainedShard<E>> },
+    Epoch {
+        shards: Vec<DrainedShard<E>>,
+    },
     Telemetry {
         shards: Vec<(usize, QueueTelemetry)>,
     },

@@ -22,7 +22,7 @@ pub use bbox::BBox;
 pub use heading::{classify_turn, normalize_angle, Cardinal, Heading, TurnKind};
 pub use point::{Point, Vec2};
 pub use segment::Segment;
-pub use spatial::SpatialHash;
+pub use spatial::{GridDeltaStats, SpatialHash};
 
 #[cfg(test)]
 mod proptests {

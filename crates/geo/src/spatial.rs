@@ -33,6 +33,13 @@ use fxhash::FxHashMap;
 /// scenario, while bounding memory against adversarial coordinates.
 const MAX_GRID_CELLS: i128 = 1 << 16;
 
+/// Ids below this use the dense slot table (a flat `Vec` indexed by id); ids
+/// at or above it go to the sparse overflow map. Node ids are dense in every
+/// simulation, so in practice all slot probes are single array indexings; the
+/// cap bounds memory against adversarial sparse ids (2^20 slots ≈ 24 MiB
+/// worst case).
+const DENSE_SLOT_IDS: u64 = 1 << 20;
+
 /// Where one tracked id currently lives: its cell coordinates and its index
 /// within that cell's bucket. Storage routing (core grid vs. overflow) is
 /// derived from the cell coordinates, so grid growth never rewrites slots.
@@ -40,6 +47,26 @@ const MAX_GRID_CELLS: i128 = 1 << 16;
 struct Slot {
     cell: (i64, i64),
     idx: u32,
+}
+
+impl Slot {
+    /// Dense-table vacancy sentinel. A real bucket index can never reach
+    /// `u32::MAX` (that bucket alone would need > 64 GiB).
+    const EMPTY: Slot = Slot {
+        cell: (0, 0),
+        idx: u32::MAX,
+    };
+}
+
+/// What a batched position update ([`SpatialHash::apply_moves`]) did: how many
+/// entries crossed a grid-cell boundary (structural bucket edits) vs. moved
+/// within their cell (one in-place position write each).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GridDeltaStats {
+    /// Moves that changed cell (unlink + relink) or inserted a new id.
+    pub crossed: u64,
+    /// Moves that stayed within their cell.
+    pub in_place: u64,
 }
 
 /// A spatial hash mapping integer keys (node ids) to positions.
@@ -60,7 +87,15 @@ pub struct SpatialHash {
     grid_live: usize,
     /// Sparse buckets for cells outside the core grid; empty vecs are dropped.
     overflow: FxHashMap<(i64, i64), Vec<(u64, Point)>>,
-    slots: FxHashMap<u64, Slot>,
+    /// Dense slot table for ids below [`DENSE_SLOT_IDS`], indexed by id;
+    /// `idx == u32::MAX` marks an untracked id. The per-move probe the mobility
+    /// tick makes for every vehicle is one array read instead of a hash probe.
+    slots: Vec<Slot>,
+    /// Slots for sparse/huge ids past the dense cap.
+    slots_over: FxHashMap<u64, Slot>,
+    /// Number of tracked ids (the dense table holds vacancies, so its length
+    /// is not the count).
+    tracked: usize,
 }
 
 impl SpatialHash {
@@ -93,7 +128,56 @@ impl SpatialHash {
             gh: 0,
             grid_live: 0,
             overflow: FxHashMap::default(),
-            slots: fxhash::map_with_capacity(ids),
+            slots: vec![Slot::EMPTY; ids.min(DENSE_SLOT_IDS as usize)],
+            slots_over: FxHashMap::default(),
+            tracked: 0,
+        }
+    }
+
+    /// Current slot of `id`, if tracked.
+    #[inline]
+    fn slot(&self, id: u64) -> Option<Slot> {
+        if id < DENSE_SLOT_IDS {
+            let s = *self.slots.get(id as usize)?;
+            (s.idx != u32::MAX).then_some(s)
+        } else {
+            self.slots_over.get(&id).copied()
+        }
+    }
+
+    /// Installs or replaces the slot of `id`.
+    #[inline]
+    fn set_slot(&mut self, id: u64, s: Slot) {
+        if id < DENSE_SLOT_IDS {
+            if self.slots.len() <= id as usize {
+                self.slots.resize(id as usize + 1, Slot::EMPTY);
+            }
+            self.slots[id as usize] = s;
+        } else {
+            self.slots_over.insert(id, s);
+        }
+    }
+
+    /// Forgets the slot of a tracked `id`.
+    #[inline]
+    fn clear_slot(&mut self, id: u64) {
+        if id < DENSE_SLOT_IDS {
+            self.slots[id as usize] = Slot::EMPTY;
+        } else {
+            self.slots_over.remove(&id);
+        }
+    }
+
+    /// Rewrites the bucket index of a tracked `id` (swap-remove patching).
+    #[inline]
+    fn patch_slot_idx(&mut self, id: u64, idx: u32) {
+        if id < DENSE_SLOT_IDS {
+            self.slots[id as usize].idx = idx;
+        } else {
+            self.slots_over
+                .get_mut(&id)
+                .expect("tracked id has a slot")
+                .idx = idx;
         }
     }
 
@@ -117,12 +201,12 @@ impl SpatialHash {
 
     /// Number of tracked ids.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.tracked
     }
 
     /// True if nothing is tracked.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.tracked == 0
     }
 
     /// Number of live (non-empty) buckets; bounded by `len()` because overflow
@@ -133,7 +217,7 @@ impl SpatialHash {
 
     /// Current position of `id`, if tracked.
     pub fn position(&self, id: u64) -> Option<Point> {
-        let s = self.slots.get(&id)?;
+        let s = self.slot(id)?;
         Some(self.bucket(s.cell)[s.idx as usize].1)
     }
 
@@ -160,14 +244,23 @@ impl SpatialHash {
 
     /// Inserts `id` at `p`, or moves it there if already tracked.
     pub fn upsert(&mut self, id: u64, p: Point) {
+        self.upsert_inner(id, p);
+    }
+
+    /// [`upsert`](Self::upsert) reporting whether the move was *structural*
+    /// (a fresh insert or a cell crossing) rather than an in-place position
+    /// write within the current bucket.
+    fn upsert_inner(&mut self, id: u64, p: Point) -> bool {
         let nk = self.key(p);
-        if let Some(s) = self.slots.get(&id).copied() {
+        if let Some(s) = self.slot(id) {
             if s.cell == nk {
                 // Same bucket: update the stored position in place.
                 self.bucket_mut(nk)[s.idx as usize].1 = p;
-                return;
+                return false;
             }
             self.unlink(s);
+        } else {
+            self.tracked += 1;
         }
         self.ensure_cell(nk);
         let new_len = {
@@ -179,12 +272,37 @@ impl SpatialHash {
             self.grid_live += 1;
         }
         let idx = (new_len - 1) as u32;
-        self.slots.insert(id, Slot { cell: nk, idx });
+        self.set_slot(id, Slot { cell: nk, idx });
+        true
+    }
+
+    /// Applies one tick's movement delta stream in a single pass. **Exactly
+    /// equivalent** to calling [`upsert`](Self::upsert) once per `(id, p)` pair
+    /// in order — same bucket contents in the same order, the byte-identity
+    /// contract the golden and differential suites pin — but shaped for the
+    /// mobility hot path: only entries whose grid cell changed touch bucket
+    /// structure; everything else is a slot read plus an in-place write of the
+    /// stored position. Returns the crossing/in-place split.
+    pub fn apply_moves<I>(&mut self, moves: I) -> GridDeltaStats
+    where
+        I: IntoIterator<Item = (u64, Point)>,
+    {
+        let mut stats = GridDeltaStats::default();
+        for (id, p) in moves {
+            if self.upsert_inner(id, p) {
+                stats.crossed += 1;
+            } else {
+                stats.in_place += 1;
+            }
+        }
+        stats
     }
 
     /// Removes `id`; returns its last position if it was tracked.
     pub fn remove(&mut self, id: u64) -> Option<Point> {
-        let s = self.slots.remove(&id)?;
+        let s = self.slot(id)?;
+        self.clear_slot(id);
+        self.tracked -= 1;
         let p = self.bucket(s.cell)[s.idx as usize].1;
         self.unlink(s);
         Some(p)
@@ -199,7 +317,7 @@ impl SpatialHash {
             (b.get(s.idx as usize).map(|&(m, _)| m), b.is_empty())
         };
         if let Some(m) = moved {
-            self.slots.get_mut(&m).expect("tracked id has a slot").idx = s.idx;
+            self.patch_slot_idx(m, s.idx);
         }
         if emptied {
             if self.grid_linear(s.cell).is_some() {
@@ -346,7 +464,35 @@ impl SpatialHash {
             .flatten()
             .map(|&(id, p)| (id, p))
     }
+
+    /// Test-only structural snapshot: every non-empty bucket keyed by cell
+    /// coordinates, entries in stored order — the representation the
+    /// byte-order contract is pinned against. See [`BucketDump`].
+    #[cfg(test)]
+    fn dump(&self) -> BucketDump {
+        let mut out: BucketDump = Vec::new();
+        for y in 0..self.gh {
+            for x in 0..self.gw {
+                let b = &self.grid[(y * self.gw + x) as usize];
+                if !b.is_empty() {
+                    out.push(((self.gx0 + x, self.gy0 + y), b.clone()));
+                }
+            }
+        }
+        for (&c, b) in &self.overflow {
+            if !b.is_empty() {
+                out.push((c, b.clone()));
+            }
+        }
+        out.sort_by_key(|&(c, _)| c);
+        out
+    }
 }
+
+/// Bucket-structure snapshot returned by [`SpatialHash::dump`]: non-empty
+/// buckets keyed by cell coordinates, entries in stored order.
+#[cfg(test)]
+type BucketDump = Vec<((i64, i64), Vec<(u64, Point)>)>;
 
 #[cfg(test)]
 mod tests {
@@ -465,6 +611,29 @@ mod tests {
     }
 
     #[test]
+    fn apply_moves_equals_upserts_and_reports_crossings() {
+        let mut a = SpatialHash::new(10.0);
+        let mut b = SpatialHash::new(10.0);
+        let trace = [
+            (1u64, 5.0, 5.0),
+            (2, 6.0, 6.0),
+            (1, 7.0, 5.0),  // same cell: in place
+            (1, 15.0, 5.0), // crosses into the next cell
+            (3, 5.5, 5.5),
+            (2, 6.5, 6.0), // in place
+        ];
+        for &(id, x, y) in &trace {
+            a.upsert(id, Point::new(x, y));
+        }
+        let stats = b.apply_moves(trace.iter().map(|&(id, x, y)| (id, Point::new(x, y))));
+        assert_eq!(stats.crossed, 4); // 3 fresh inserts + 1 cell crossing
+        assert_eq!(stats.in_place, 2);
+        assert_eq!(a.dump(), b.dump());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.position(1), Some(Point::new(15.0, 5.0)));
+    }
+
+    #[test]
     fn long_random_walk_keeps_bucket_count_bounded() {
         // Empty buckets are dropped (overflow) or discounted (grid), so however
         // far vehicles roam, live buckets never exceed the number of tracked ids.
@@ -495,5 +664,75 @@ mod tests {
             );
         }
         assert_eq!(h.len(), ids as usize);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Incremental delta application is byte-identical to the sequential
+        /// upsert reference — same buckets, same in-bucket entry order, same
+        /// counters — for any trace and any batch chunking, and agrees with a
+        /// from-scratch rebuild of the final positions on every range query.
+        #[test]
+        fn delta_application_matches_reference(
+            moves in proptest::collection::vec((0u64..24, -40.0f64..40.0, -40.0f64..40.0), 1..400),
+            splits in proptest::collection::vec(1usize..40, 0..20),
+            probes in proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0, 1.0f64..30.0), 1..8),
+        ) {
+            let mut seq = SpatialHash::new(10.0);
+            let mut bat = SpatialHash::with_capacity(10.0, 24);
+            for &(id, x, y) in &moves {
+                seq.upsert(id, Point::new(x, y));
+            }
+            // Same trace through apply_moves, in arbitrary batch sizes.
+            let mut rest: &[(u64, f64, f64)] = &moves;
+            let mut si = 0;
+            let mut total = GridDeltaStats::default();
+            while !rest.is_empty() {
+                let take = splits.get(si).copied().unwrap_or(rest.len()).min(rest.len());
+                si += 1;
+                let (batch, tail) = rest.split_at(take);
+                let stats =
+                    bat.apply_moves(batch.iter().map(|&(id, x, y)| (id, Point::new(x, y))));
+                total.crossed += stats.crossed;
+                total.in_place += stats.in_place;
+                rest = tail;
+            }
+            prop_assert_eq!(total.crossed + total.in_place, moves.len() as u64);
+            prop_assert_eq!(seq.dump(), bat.dump());
+            prop_assert_eq!(seq.len(), bat.len());
+            prop_assert_eq!(seq.bucket_count(), bat.bucket_count());
+            // A rebuild from the final positions must see the same world
+            // through every query (bucket order may differ; results may not).
+            let mut last: std::collections::BTreeMap<u64, Point> = Default::default();
+            for &(id, x, y) in &moves {
+                last.insert(id, Point::new(x, y));
+            }
+            let mut rebuilt = SpatialHash::new(10.0);
+            for (&id, &p) in &last {
+                rebuilt.upsert(id, p);
+            }
+            for &(x, y, r) in &probes {
+                let c = Point::new(x, y);
+                prop_assert_eq!(bat.query_radius(c, r), rebuilt.query_radius(c, r));
+                let mut got = Vec::new();
+                bat.for_each_within(c, r, |id, p| got.push((id, p)));
+                got.sort_by_key(|&(id, _)| id);
+                let mut want = Vec::new();
+                rebuilt.for_each_within(c, r, |id, p| want.push((id, p)));
+                want.sort_by_key(|&(id, _)| id);
+                prop_assert_eq!(got, want);
+            }
+            // Slot-visible positions agree with the reference too.
+            for id in 0u64..24 {
+                prop_assert_eq!(bat.position(id), seq.position(id));
+            }
+        }
     }
 }

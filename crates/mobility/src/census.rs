@@ -83,7 +83,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..50 {
             model.step(&net, &lights, now);
-            census.observe(model.vehicles());
+            census.observe(&model.vehicles());
             now += model.config().tick;
         }
         assert_eq!(census.ticks(), 50);
@@ -101,7 +101,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..240 {
             model.step(&net, &lights, now);
-            census.observe(model.vehicles());
+            census.observe(&model.vehicles());
             now += model.config().tick;
         }
         // Mean density on arteries must exceed normal roads by a wide margin.

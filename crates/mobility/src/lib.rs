@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod census;
+pub mod fleet;
 pub mod lights;
 pub mod map_match;
 pub mod model;
@@ -24,6 +25,7 @@ pub mod trips;
 pub mod vehicle;
 
 pub use census::TrafficCensus;
+pub use fleet::FleetState;
 pub use lights::{LightConfig, TrafficLights};
 pub use map_match::{MapMatcher, Match, TraceReplay};
 pub use model::{MobilityConfig, MobilityModel};

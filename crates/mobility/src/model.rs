@@ -8,17 +8,26 @@
 //! Each tick yields one [`MoveSample`] per vehicle; the location-service protocols
 //! consume those samples to apply their update rules (turn detection, boundary
 //! crossings).
+//!
+//! Hot-path layout: vehicle kinematics live in a struct-of-arrays
+//! [`FleetState`], and everything that is constant across a directed lane for
+//! one tick — segment geometry, road length, road class, heading, and the
+//! light phase at the far intersection — is hoisted into a per-lane context
+//! table during the (already lane-sorted) leader pass. The advance loop then
+//! streams the flat component arrays in index order with two array lookups per
+//! vehicle instead of per-vehicle road-graph walks and modular light math.
 
+use crate::fleet::FleetState;
 use crate::lights::TrafficLights;
 use crate::route::{choose_next_road, spawn_vehicles, RouteConfig};
 use crate::trips::{TripConfig, TripPlan};
-use crate::vehicle::{MoveSample, TurnEvent, VehicleState};
+use crate::vehicle::{MoveSample, TurnEvent, VehicleId, VehicleState};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vanet_des::{splitmix64, SimDuration, SimTime};
-use vanet_geo::classify_turn;
-use vanet_roadnet::{IntersectionId, RoadId, RoadNetwork};
+use vanet_geo::{classify_turn, Heading, Segment};
+use vanet_roadnet::{IntersectionId, RoadClass, RoadId, RoadNetwork};
 
 /// Parameters of the mobility model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,6 +63,27 @@ impl Default for MobilityConfig {
     }
 }
 
+/// Everything the advance loop needs that is shared by every vehicle on one
+/// directed lane for one tick: computed once per touched lane, read per
+/// vehicle by index. `green` memoizes the traffic-light check — all vehicles
+/// on a lane approach the same intersection from the same cardinal, so the
+/// per-vehicle modular phase math collapses to a bool load.
+#[derive(Debug, Clone, Copy)]
+struct LaneCtx {
+    /// Oriented segment of the lane (from the `from` endpoint).
+    seg: Segment,
+    /// Road length, meters.
+    len: f64,
+    /// Intersection ahead.
+    end: IntersectionId,
+    /// Travel heading on this lane.
+    heading: Heading,
+    /// Class of the lane's road.
+    class: RoadClass,
+    /// May the lane's vehicles cross `end` this tick?
+    green: bool,
+}
+
 /// The mobility engine: owns every vehicle's state and advances them tick by tick.
 ///
 /// Every vehicle carries its **own** deterministic RNG stream (seeded once at
@@ -64,7 +94,8 @@ impl Default for MobilityConfig {
 #[derive(Debug, Clone)]
 pub struct MobilityModel {
     cfg: MobilityConfig,
-    vehicles: Vec<VehicleState>,
+    /// Kinematic state in struct-of-arrays form, indexed by dense vehicle id.
+    fleet: FleetState,
     samples: Vec<MoveSample>,
     /// Per-vehicle trip plans (empty unless `cfg.trips` is set).
     plans: Vec<TripPlan>,
@@ -79,6 +110,14 @@ pub struct MobilityModel {
     lanes_touched: Vec<u32>,
     /// Scratch for per-vehicle leader caps, reused across ticks.
     cap: Vec<f64>,
+    /// Per-vehicle index into `lane_ctx` for this tick (compact slot of the
+    /// vehicle's directed lane).
+    lane_id: Vec<u32>,
+    /// Directed lane → compact `lane_ctx` slot; only entries for lanes in
+    /// `lanes_touched` are valid (written at first touch, before any read).
+    lane_slot: Vec<u32>,
+    /// Per-touched-lane shared context, rebuilt each tick in lane order.
+    lane_ctx: Vec<LaneCtx>,
 }
 
 /// One independent route-choice stream per vehicle, derived from `base` by
@@ -98,34 +137,31 @@ impl MobilityModel {
     /// also seeds the per-vehicle route-choice streams (one draw).
     pub fn new(net: &RoadNetwork, cfg: MobilityConfig, n: usize, rng: &mut SmallRng) -> Self {
         let vehicles = spawn_vehicles(net, &cfg.route, n, cfg.min_speed, cfg.max_speed, rng);
-        let plans = vec![TripPlan::default(); n];
         let rngs = per_vehicle_rngs(n, rng.next_u64());
-        MobilityModel {
-            cfg,
-            vehicles,
-            samples: Vec::with_capacity(n),
-            plans,
-            rngs,
-            lanes: Vec::new(),
-            lanes_touched: Vec::new(),
-            cap: Vec::with_capacity(n),
-        }
+        Self::build(cfg, FleetState::from_states(&vehicles), rngs)
     }
 
     /// Builds the engine from pre-constructed vehicle states (tests, replays).
+    /// Ids must be dense and in order (the fleet-layout invariant).
     pub fn from_states(cfg: MobilityConfig, vehicles: Vec<VehicleState>) -> Self {
-        let n = vehicles.len();
-        let plans = vec![TripPlan::default(); n];
-        let rngs = per_vehicle_rngs(n, FROM_STATES_RNG_BASE);
+        let rngs = per_vehicle_rngs(vehicles.len(), FROM_STATES_RNG_BASE);
+        Self::build(cfg, FleetState::from_states(&vehicles), rngs)
+    }
+
+    fn build(cfg: MobilityConfig, fleet: FleetState, rngs: Vec<SmallRng>) -> Self {
+        let n = fleet.len();
         MobilityModel {
             cfg,
-            vehicles,
+            fleet,
             samples: Vec::with_capacity(n),
-            plans,
+            plans: vec![TripPlan::default(); n],
             rngs,
             lanes: Vec::new(),
             lanes_touched: Vec::new(),
             cap: Vec::with_capacity(n),
+            lane_id: Vec::with_capacity(n),
+            lane_slot: Vec::new(),
+            lane_ctx: Vec::new(),
         }
     }
 
@@ -134,27 +170,33 @@ impl MobilityModel {
         &self.cfg
     }
 
-    /// Current state of every vehicle, by id order.
-    pub fn vehicles(&self) -> &[VehicleState] {
-        &self.vehicles
+    /// Current state of every vehicle, by id order — materialized from the
+    /// struct-of-arrays fleet (cold paths: census, trace export, tests).
+    pub fn vehicles(&self) -> Vec<VehicleState> {
+        self.fleet.to_states()
+    }
+
+    /// The struct-of-arrays fleet state (the hot-path representation).
+    pub fn fleet(&self) -> &FleetState {
+        &self.fleet
     }
 
     /// Number of vehicles.
     pub fn len(&self) -> usize {
-        self.vehicles.len()
+        self.fleet.len()
     }
 
     /// True if the model has no vehicles.
     pub fn is_empty(&self) -> bool {
-        self.vehicles.is_empty()
+        self.fleet.is_empty()
     }
 
     /// A zero-motion sample per vehicle describing its current state — used to
     /// bootstrap protocols at t = 0 (vehicles "register" when joining the network).
     pub fn snapshot(&self, net: &RoadNetwork) -> Vec<MoveSample> {
-        self.vehicles
-            .iter()
-            .map(|v| {
+        (0..self.fleet.len())
+            .map(|i| {
+                let v = self.fleet.state(i);
                 let pos = v.position(net);
                 MoveSample {
                     id: v.id,
@@ -173,36 +215,44 @@ impl MobilityModel {
 
     /// Fraction of vehicles currently on artery roads.
     pub fn artery_share(&self, net: &RoadNetwork) -> f64 {
-        if self.vehicles.is_empty() {
+        if self.fleet.is_empty() {
             return 0.0;
         }
         let on = self
-            .vehicles
+            .fleet
+            .road
             .iter()
-            .filter(|v| v.road_class(net) == vanet_roadnet::RoadClass::Artery)
+            .filter(|&&r| net.road(r).class == RoadClass::Artery)
             .count();
-        on as f64 / self.vehicles.len() as f64
+        on as f64 / self.fleet.len() as f64
     }
 
     /// Phase 1 of a tick: the leader constraint, from everyone's *old* offset.
     /// Stable and order-free (each vehicle sits in exactly one lane, so the
     /// `cap` writes never collide and lane visit order cannot affect the
-    /// result). Leaves `cap[i]` = max offset vehicle `i` may reach this tick.
+    /// result). Leaves `cap[i]` = max offset vehicle `i` may reach this tick,
+    /// and `lane_id[i]` = compact slot of vehicle `i`'s directed lane.
     fn prepare_caps(&mut self, net: &RoadNetwork) {
+        let n = self.fleet.len();
         self.lanes.resize_with(net.road_count() * 2, Vec::new);
+        self.lane_slot.resize(net.road_count() * 2, 0);
         for &l in &self.lanes_touched {
             self.lanes[l as usize].clear();
         }
         self.lanes_touched.clear();
-        for (i, v) in self.vehicles.iter().enumerate() {
-            let l = v.road.0 as usize * 2 + (v.from == net.road(v.road).a) as usize;
+        self.lane_id.clear();
+        for i in 0..n {
+            let road = self.fleet.road[i];
+            let l = road.0 as usize * 2 + (self.fleet.from[i] == net.road(road).a) as usize;
             if self.lanes[l].is_empty() {
+                self.lane_slot[l] = self.lanes_touched.len() as u32;
                 self.lanes_touched.push(l as u32);
             }
-            self.lanes[l].push((v.offset, i));
+            self.lanes[l].push((self.fleet.offset[i], i));
+            self.lane_id.push(self.lane_slot[l]);
         }
         self.cap.clear();
-        self.cap.resize(self.vehicles.len(), f64::INFINITY);
+        self.cap.resize(n, f64::INFINITY);
         for &l in &self.lanes_touched {
             let lane = &mut self.lanes[l as usize];
             lane.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
@@ -214,11 +264,36 @@ impl MobilityModel {
         }
     }
 
+    /// Builds the per-lane shared context for this tick, in the lane order the
+    /// leader pass discovered. One road lookup, one segment build, and one
+    /// light check per *occupied directed lane*, amortized over all of its
+    /// vehicles.
+    fn prepare_lane_ctx(&mut self, net: &RoadNetwork, lights: &TrafficLights, now: SimTime) {
+        self.lane_ctx.clear();
+        for &l in &self.lanes_touched {
+            let road = RoadId(l / 2);
+            let r = net.road(road);
+            let from = if l % 2 == 1 { r.a } else { r.b };
+            let end = if l % 2 == 1 { r.b } else { r.a };
+            let seg = Segment::new(net.pos(from), net.pos(end));
+            let heading = seg.heading().expect("roads have positive length");
+            self.lane_ctx.push(LaneCtx {
+                seg,
+                len: r.length,
+                end,
+                heading,
+                class: r.class,
+                green: lights.is_green(end, heading.to_cardinal(), now),
+            });
+        }
+    }
+
     /// Pre-fills the sample buffer so the advance phase can write slots by
     /// index (the parallel path hands disjoint sub-slices to threads).
     fn seed_samples(&mut self, net: &RoadNetwork) {
         self.samples.clear();
-        if let Some(v0) = self.vehicles.first() {
+        if !self.fleet.is_empty() {
+            let v0 = self.fleet.state(0);
             let pos = v0.position(net);
             let placeholder = MoveSample {
                 id: v0.id,
@@ -231,7 +306,7 @@ impl MobilityModel {
                 speed: v0.speed,
                 turn: None,
             };
-            self.samples.resize(self.vehicles.len(), placeholder);
+            self.samples.resize(self.fleet.len(), placeholder);
         }
     }
 
@@ -244,14 +319,20 @@ impl MobilityModel {
         now: SimTime,
     ) -> &[MoveSample] {
         self.prepare_caps(net);
+        self.prepare_lane_ctx(net, lights, now);
         self.seed_samples(net);
         advance_chunk(
             &self.cfg,
             net,
-            lights,
-            now,
+            &self.lane_ctx,
+            0,
             &self.cap,
-            &mut self.vehicles,
+            &self.lane_id,
+            &mut self.fleet.road,
+            &mut self.fleet.from,
+            &mut self.fleet.offset,
+            &mut self.fleet.speed,
+            &self.fleet.desired_speed,
             &mut self.plans,
             &mut self.rngs,
             &mut self.samples,
@@ -263,7 +344,9 @@ impl MobilityModel {
     /// `threads` OS threads. Because every vehicle owns its RNG stream and
     /// writes only its own state slot, the result is **byte-identical** to
     /// the sequential step for any thread count or chunking — the per-tick
-    /// determinism contract the region-sharded runner relies on.
+    /// determinism contract the region-sharded runner relies on. Each worker
+    /// gets plain disjoint sub-slices of every fleet component array plus a
+    /// shared view of the per-lane context table.
     pub fn step_par(
         &mut self,
         net: &RoadNetwork,
@@ -271,27 +354,55 @@ impl MobilityModel {
         now: SimTime,
         threads: usize,
     ) -> &[MoveSample] {
-        let n = self.vehicles.len();
+        let n = self.fleet.len();
         let threads = threads.clamp(1, n.max(1));
         if threads == 1 {
             return self.step(net, lights, now);
         }
         self.prepare_caps(net);
+        self.prepare_lane_ctx(net, lights, now);
         self.seed_samples(net);
         let chunk = n.div_ceil(threads);
         let cfg = self.cfg;
-        let cap = &self.cap;
         std::thread::scope(|s| {
-            for (((vehicles, plans), rngs), (cap, samples)) in self
-                .vehicles
-                .chunks_mut(chunk)
-                .zip(self.plans.chunks_mut(chunk))
-                .zip(self.rngs.chunks_mut(chunk))
-                .zip(cap.chunks(chunk).zip(self.samples.chunks_mut(chunk)))
-            {
+            let mut road = self.fleet.road.as_mut_slice();
+            let mut from = self.fleet.from.as_mut_slice();
+            let mut offset = self.fleet.offset.as_mut_slice();
+            let mut speed = self.fleet.speed.as_mut_slice();
+            let mut desired = self.fleet.desired_speed.as_slice();
+            let mut plans = self.plans.as_mut_slice();
+            let mut rngs = self.rngs.as_mut_slice();
+            let mut samples = self.samples.as_mut_slice();
+            let mut cap = self.cap.as_slice();
+            let mut lane_id = self.lane_id.as_slice();
+            let lane_ctx = self.lane_ctx.as_slice();
+            let mut base = 0usize;
+            while base < n {
+                let take = chunk.min(n - base);
+                let (r, rest) = std::mem::take(&mut road).split_at_mut(take);
+                road = rest;
+                let (f, rest) = std::mem::take(&mut from).split_at_mut(take);
+                from = rest;
+                let (o, rest) = std::mem::take(&mut offset).split_at_mut(take);
+                offset = rest;
+                let (sp, rest) = std::mem::take(&mut speed).split_at_mut(take);
+                speed = rest;
+                let (d, rest) = desired.split_at(take);
+                desired = rest;
+                let (pl, rest) = std::mem::take(&mut plans).split_at_mut(take);
+                plans = rest;
+                let (rg, rest) = std::mem::take(&mut rngs).split_at_mut(take);
+                rngs = rest;
+                let (sm, rest) = std::mem::take(&mut samples).split_at_mut(take);
+                samples = rest;
+                let (c, rest) = cap.split_at(take);
+                cap = rest;
+                let (li, rest) = lane_id.split_at(take);
+                lane_id = rest;
                 s.spawn(move || {
-                    advance_chunk(&cfg, net, lights, now, cap, vehicles, plans, rngs, samples);
+                    advance_chunk(&cfg, net, lane_ctx, base, c, li, r, f, o, sp, d, pl, rg, sm);
                 });
+                base += take;
             }
         });
         &self.samples
@@ -299,44 +410,52 @@ impl MobilityModel {
 }
 
 /// Phase 2 of a tick for one contiguous chunk of vehicles: kinematic advance,
-/// light checks, and route choice, each vehicle touching only its own slots
-/// (state, plan, RNG, sample). Chunk boundaries cannot affect the outcome.
+/// memoized light checks, and route choice, each vehicle touching only its own
+/// slots (state, plan, RNG, sample). Chunk boundaries cannot affect the
+/// outcome. `base` is the chunk's first global vehicle index (== id, ids being
+/// dense).
 #[allow(clippy::too_many_arguments)]
 fn advance_chunk(
     cfg: &MobilityConfig,
     net: &RoadNetwork,
-    lights: &TrafficLights,
-    now: SimTime,
+    lane_ctx: &[LaneCtx],
+    base: usize,
     cap: &[f64],
-    vehicles: &mut [VehicleState],
+    lane_id: &[u32],
+    road: &mut [RoadId],
+    from: &mut [IntersectionId],
+    offset: &mut [f64],
+    speed: &mut [f64],
+    desired: &[f64],
     plans: &mut [TripPlan],
     rngs: &mut [SmallRng],
     samples: &mut [MoveSample],
 ) {
     let dt = cfg.tick.as_secs_f64();
-    for i in 0..vehicles.len() {
-        let v = vehicles[i];
+    for i in 0..road.len() {
+        let ctx = &lane_ctx[lane_id[i] as usize];
+        let old_road = road[i];
+        let old_from = from[i];
+        let old_offset = offset[i];
         let rng = &mut rngs[i];
-        let old_pos = v.position(net);
-        let mut road = v.road;
-        let mut from = v.from;
-        let mut offset = v.offset;
+        let old_pos = ctx.seg.point_at(old_offset);
         let mut turn: Option<TurnEvent> = None;
 
-        let target_speed = (v.speed + cfg.accel * dt).min(v.desired_speed);
+        let target_speed = (speed[i] + cfg.accel * dt).min(desired[i]);
         let mut advance = target_speed * dt;
         // Honor the leader gap (never move backward because of it).
-        if offset + advance > cap[i] {
-            advance = (cap[i] - offset).max(0.0);
+        if old_offset + advance > cap[i] {
+            advance = (cap[i] - old_offset).max(0.0);
         }
 
-        let len = net.road(road).length;
-        if offset + advance >= len && turnable(net, lights, road, from, now) {
+        let len = ctx.len;
+        let (new_road, new_from, new_offset);
+        if old_offset + advance >= len && ctx.green {
             // Cross the intersection: pick the next road, carry leftover motion.
-            let at = net.other_end(road, from);
-            let arrive = net.heading_from(road, from);
+            let at = ctx.end;
+            let arrive = ctx.heading;
             let next = match cfg.trips {
-                None => choose_next_road(net, &cfg.route, at, road, rng),
+                None => choose_next_road(net, &cfg.route, at, old_road, rng),
                 Some(trip_cfg) => {
                     // Trip mode: follow the plan, replanning at the
                     // destination (or when the plan went stale). A plan that
@@ -345,9 +464,9 @@ fn advance_chunk(
                         Some(r) => r,
                         None => {
                             plans[i].replan(net, &trip_cfg, at, rng);
-                            plans[i]
-                                .next_road(net, at)
-                                .unwrap_or_else(|| choose_next_road(net, &cfg.route, at, road, rng))
+                            plans[i].next_road(net, at).unwrap_or_else(|| {
+                                choose_next_road(net, &cfg.route, at, old_road, rng)
+                            })
                         }
                     }
                 }
@@ -355,61 +474,57 @@ fn advance_chunk(
             let leave = net.heading_from(next, at);
             turn = Some(TurnEvent {
                 at,
-                from_road: road,
+                from_road: old_road,
                 to_road: next,
                 kind: classify_turn(arrive, leave),
-                from_class: net.road(road).class,
+                from_class: ctx.class,
                 onto_class: net.road(next).class,
             });
-            let leftover = (offset + advance - len).max(0.0);
-            road = next;
-            from = at;
+            let leftover = (old_offset + advance - len).max(0.0);
+            new_road = next;
+            new_from = at;
             // Clamp so a single tick never skips the whole next road.
-            offset = leftover.min(net.road(next).length - 1e-6);
+            new_offset = leftover.min(net.road(next).length - 1e-6);
         } else {
             // Either staying on the road or blocked at a red light.
-            offset = (offset + advance).min(len);
+            new_road = old_road;
+            new_from = old_from;
+            new_offset = (old_offset + advance).min(len);
         }
 
-        let v_mut = &mut vehicles[i];
-        v_mut.road = road;
-        v_mut.from = from;
-        v_mut.offset = offset;
-        let new_pos = v_mut.position(net);
+        let (new_pos, out_class, out_heading) = if turn.is_some() {
+            (
+                net.segment_from(new_road, new_from).point_at(new_offset),
+                net.road(new_road).class,
+                net.heading_from(new_road, new_from),
+            )
+        } else {
+            (ctx.seg.point_at(new_offset), ctx.class, ctx.heading)
+        };
         // Realized speed, from actual displacement along roads.
         let moved = if turn.is_some() {
-            (net.road(v.road).length - v.offset) + offset
+            (len - old_offset) + new_offset
         } else {
-            offset - v.offset
+            new_offset - old_offset
         };
-        v_mut.speed = (moved / dt).max(0.0);
+        let new_speed = (moved / dt).max(0.0);
+        road[i] = new_road;
+        from[i] = new_from;
+        offset[i] = new_offset;
+        speed[i] = new_speed;
 
         samples[i] = MoveSample {
-            id: v.id,
+            id: VehicleId((base + i) as u32),
             old_pos,
             new_pos,
-            road,
-            from,
-            road_class: net.road(road).class,
-            heading: net.heading_from(road, from),
-            speed: v_mut.speed,
+            road: new_road,
+            from: new_from,
+            road_class: out_class,
+            heading: out_heading,
+            speed: new_speed,
             turn,
         };
     }
-}
-
-/// May a vehicle on `road` (oriented from `from`) cross the far intersection at
-/// `now`? Green light or unsignalized node.
-fn turnable(
-    net: &RoadNetwork,
-    lights: &TrafficLights,
-    road: RoadId,
-    from: IntersectionId,
-    now: SimTime,
-) -> bool {
-    let end = net.other_end(road, from);
-    let approach = net.heading_from(road, from).to_cardinal();
-    lights.is_green(end, approach, now)
 }
 
 #[cfg(test)]
@@ -589,9 +704,7 @@ mod tests {
         let (_, _, mut m2, _) = setup(100, 9);
         run_ticks(&net, &lights, &mut m1, 100);
         run_ticks(&net, &lights, &mut m2, 100);
-        for (a, b) in m1.vehicles().iter().zip(m2.vehicles()) {
-            assert_eq!(a, b);
-        }
+        assert_eq!(m1.vehicles(), m2.vehicles());
     }
 
     #[test]
@@ -692,7 +805,7 @@ mod tests {
                 model.step(&net, &lights, now);
                 now += model.config().tick;
             }
-            model.vehicles().to_vec()
+            model.vehicles()
         };
         assert_eq!(run(5), run(5));
     }
@@ -739,6 +852,169 @@ mod tests {
                 par.vehicles(),
                 "vehicle states diverged with {threads} threads"
             );
+        }
+    }
+
+    /// The pre-SoA array-of-structs kernel, kept verbatim in test code as the
+    /// reference semantics: per-vehicle road-graph walks and light checks,
+    /// no lane-context memoization. The SoA step must reproduce it bit for bit.
+    mod reference {
+        use super::*;
+
+        fn turnable(
+            net: &RoadNetwork,
+            lights: &TrafficLights,
+            road: RoadId,
+            from: IntersectionId,
+            now: SimTime,
+        ) -> bool {
+            let end = net.other_end(road, from);
+            let approach = net.heading_from(road, from).to_cardinal();
+            lights.is_green(end, approach, now)
+        }
+
+        /// One tick of the old AoS engine: leader caps from old offsets, then
+        /// the per-vehicle advance exactly as PR-9 shipped it.
+        pub fn step(
+            cfg: &MobilityConfig,
+            net: &RoadNetwork,
+            lights: &TrafficLights,
+            now: SimTime,
+            vehicles: &mut [VehicleState],
+            plans: &mut [TripPlan],
+            rngs: &mut [SmallRng],
+        ) -> Vec<MoveSample> {
+            let mut lanes: HashMap<(RoadId, IntersectionId), Vec<(f64, usize)>> = HashMap::new();
+            for (i, v) in vehicles.iter().enumerate() {
+                lanes
+                    .entry((v.road, v.from))
+                    .or_default()
+                    .push((v.offset, i));
+            }
+            let mut cap = vec![f64::INFINITY; vehicles.len()];
+            for lane in lanes.values_mut() {
+                lane.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+                for w in lane.windows(2) {
+                    cap[w[1].1] = w[0].0 - cfg.min_gap;
+                }
+            }
+            let dt = cfg.tick.as_secs_f64();
+            let mut samples = Vec::with_capacity(vehicles.len());
+            for i in 0..vehicles.len() {
+                let v = vehicles[i];
+                let rng = &mut rngs[i];
+                let old_pos = v.position(net);
+                let mut road = v.road;
+                let mut from = v.from;
+                let mut offset = v.offset;
+                let mut turn: Option<TurnEvent> = None;
+
+                let target_speed = (v.speed + cfg.accel * dt).min(v.desired_speed);
+                let mut advance = target_speed * dt;
+                if offset + advance > cap[i] {
+                    advance = (cap[i] - offset).max(0.0);
+                }
+
+                let len = net.road(road).length;
+                if offset + advance >= len && turnable(net, lights, road, from, now) {
+                    let at = net.other_end(road, from);
+                    let arrive = net.heading_from(road, from);
+                    let next = match cfg.trips {
+                        None => choose_next_road(net, &cfg.route, at, road, rng),
+                        Some(trip_cfg) => match plans[i].next_road(net, at) {
+                            Some(r) => r,
+                            None => {
+                                plans[i].replan(net, &trip_cfg, at, rng);
+                                plans[i].next_road(net, at).unwrap_or_else(|| {
+                                    choose_next_road(net, &cfg.route, at, road, rng)
+                                })
+                            }
+                        },
+                    };
+                    let leave = net.heading_from(next, at);
+                    turn = Some(TurnEvent {
+                        at,
+                        from_road: road,
+                        to_road: next,
+                        kind: classify_turn(arrive, leave),
+                        from_class: net.road(road).class,
+                        onto_class: net.road(next).class,
+                    });
+                    let leftover = (offset + advance - len).max(0.0);
+                    road = next;
+                    from = at;
+                    offset = leftover.min(net.road(next).length - 1e-6);
+                } else {
+                    offset = (offset + advance).min(len);
+                }
+
+                let v_mut = &mut vehicles[i];
+                v_mut.road = road;
+                v_mut.from = from;
+                v_mut.offset = offset;
+                let new_pos = v_mut.position(net);
+                let moved = if turn.is_some() {
+                    (net.road(v.road).length - v.offset) + offset
+                } else {
+                    offset - v.offset
+                };
+                v_mut.speed = (moved / dt).max(0.0);
+
+                samples.push(MoveSample {
+                    id: v.id,
+                    old_pos,
+                    new_pos,
+                    road,
+                    from,
+                    road_class: net.road(road).class,
+                    heading: net.heading_from(road, from),
+                    speed: v_mut.speed,
+                    turn,
+                });
+            }
+            samples
+        }
+    }
+
+    /// SoA-vs-AoS equivalence at fixed seeds: the struct-of-arrays kernel with
+    /// its lane-context memoization must match the old array-of-structs kernel
+    /// sample for sample and state for state, over enough ticks to exercise
+    /// red-light queues, crossings, and leader caps — in both route modes.
+    #[test]
+    fn soa_step_matches_aos_reference() {
+        for (seed, trips) in [(11u64, false), (29, false), (17, true)] {
+            let net = generate_grid(&GridMapSpec::paper(1000.0), &mut SmallRng::seed_from_u64(0));
+            let lights = TrafficLights::new(&net, LightConfig::default());
+            let cfg = MobilityConfig {
+                trips: trips.then(crate::trips::TripConfig::default),
+                ..Default::default()
+            };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut model = MobilityModel::new(&net, cfg, 160, &mut rng);
+            let mut aos_states = model.vehicles();
+            let mut aos_plans = model.plans.clone();
+            let mut aos_rngs = model.rngs.clone();
+            let dt = model.config().tick;
+            let mut now = SimTime::ZERO;
+            for tick in 0..150 {
+                let soa = model.step(&net, &lights, now).to_vec();
+                let aos = reference::step(
+                    &cfg,
+                    &net,
+                    &lights,
+                    now,
+                    &mut aos_states,
+                    &mut aos_plans,
+                    &mut aos_rngs,
+                );
+                assert_eq!(soa, aos, "samples diverged at tick {tick} (seed {seed})");
+                assert_eq!(
+                    model.vehicles(),
+                    aos_states,
+                    "states diverged at tick {tick} (seed {seed})"
+                );
+                now += dt;
+            }
         }
     }
 }

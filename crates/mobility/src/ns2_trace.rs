@@ -59,9 +59,10 @@ impl Ns2Trace {
         model: &mut MobilityModel,
         ticks: usize,
     ) -> Ns2Trace {
-        let initial: Vec<Point> = model.vehicles().iter().map(|v| v.position(net)).collect();
-        let mut last_speed: Vec<f64> = model.vehicles().iter().map(|v| v.speed).collect();
-        let mut last_cmd: Vec<SimTime> = vec![SimTime::ZERO; model.vehicles().len()];
+        let states = model.vehicles();
+        let initial: Vec<Point> = states.iter().map(|v| v.position(net)).collect();
+        let mut last_speed: Vec<f64> = states.iter().map(|v| v.speed).collect();
+        let mut last_cmd: Vec<SimTime> = vec![SimTime::ZERO; states.len()];
         // Waypoints refresh at least this often even while cruising straight, so
         // a replay never parks a vehicle for long between events.
         let refresh = SimDuration::from_secs(2);

@@ -58,11 +58,21 @@ pub fn choose_next_road(
     }
     // Heading we arrive with: driving toward `at`, i.e. from the other end.
     let arrive_heading = net.heading_from(incoming, net.other_end(incoming, at));
-    let mut weights = Vec::with_capacity(candidates.len());
+    // Weight buffer on the stack: grid intersections have at most 4 incident
+    // roads, so the per-crossing heap allocation this loop used to make is
+    // pure overhead (a spilled Vec covers pathological junctions).
+    let mut stack_buf = [0.0f64; 8];
+    let mut heap_buf;
+    let weights: &mut [f64] = if candidates.len() <= stack_buf.len() {
+        &mut stack_buf[..candidates.len()]
+    } else {
+        heap_buf = vec![0.0; candidates.len()];
+        &mut heap_buf
+    };
     let mut total = 0.0;
-    for &rid in candidates {
+    for (j, &rid) in candidates.iter().enumerate() {
         if rid == incoming {
-            weights.push(0.0);
+            weights[j] = 0.0;
             continue;
         }
         let leave_heading = net.heading_from(rid, at);
@@ -76,7 +86,7 @@ pub fn choose_next_road(
             TurnKind::UTurn => 0.0, // geometric U-turn via a distinct road: skip
         };
         let w = class_w * straight_w;
-        weights.push(w);
+        weights[j] = w;
         total += w;
     }
     if total <= 0.0 {
@@ -87,7 +97,7 @@ pub fn choose_next_road(
             .unwrap_or(&incoming);
     }
     let mut draw = rng.random_range(0.0..total);
-    for (&rid, &w) in candidates.iter().zip(&weights) {
+    for (&rid, &w) in candidates.iter().zip(weights.iter()) {
         if w <= 0.0 {
             continue;
         }
@@ -99,7 +109,7 @@ pub fn choose_next_road(
     // Floating-point tail: take the last weighted candidate.
     *candidates
         .iter()
-        .zip(&weights)
+        .zip(weights.iter())
         .rev()
         .find(|(_, &w)| w > 0.0)
         .map(|(r, _)| r)
@@ -137,7 +147,7 @@ pub fn spawn_vehicles(
     for i in 0..n {
         let mut draw = rng.random_range(0.0..total);
         let mut road = net.roads().last().expect("non-empty network").id;
-        for (r, &w) in net.roads().iter().zip(&weights) {
+        for (r, &w) in net.roads().iter().zip(weights.iter()) {
             if draw < w {
                 road = r.id;
                 break;

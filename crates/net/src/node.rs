@@ -121,6 +121,24 @@ impl NodeRegistry {
         self.index.upsert(n.0 as u64, pos);
     }
 
+    /// Applies one mobility tick's movement delta stream in a single pass:
+    /// equivalent to [`set_pos`](Self::set_pos) per vehicle in iteration order
+    /// (the byte-identity contract), but routed through
+    /// [`SpatialHash::apply_moves`] so only vehicles whose grid cell changed
+    /// touch bucket structure. Returns the cell-crossing/in-place split.
+    pub fn apply_vehicle_moves<I>(&mut self, moves: I) -> vanet_geo::GridDeltaStats
+    where
+        I: IntoIterator<Item = (VehicleId, Point)>,
+    {
+        let positions = &mut self.positions;
+        let vehicle_nodes = &self.vehicle_nodes;
+        self.index.apply_moves(moves.into_iter().map(|(v, p)| {
+            let n = vehicle_nodes[v.0 as usize];
+            positions[n.0 as usize] = p;
+            (n.0 as u64, p)
+        }))
+    }
+
     /// The node id of a vehicle.
     pub fn node_of_vehicle(&self, v: VehicleId) -> NodeId {
         self.vehicle_nodes[v.0 as usize]
@@ -224,6 +242,43 @@ mod tests {
         }
         reg.nodes_within_into(Point::new(1e7, 1e7), 10.0, None, &mut scratch);
         assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn bulk_vehicle_moves_match_set_pos() {
+        let build = || {
+            let mut reg = NodeRegistry::with_capacity(50.0, 6);
+            for i in 0..5u32 {
+                reg.add_vehicle(VehicleId(i), Point::new(i as f64 * 10.0, 0.0));
+            }
+            reg.add_rsu(RsuId(0), Point::new(0.0, 100.0));
+            reg
+        };
+        let mut a = build();
+        let mut b = build();
+        let moves: Vec<(VehicleId, Point)> = (0..5u32)
+            .map(|i| {
+                (
+                    VehicleId(i),
+                    Point::new(i as f64 * 10.0 + 3.0, 60.0 * (i % 2) as f64),
+                )
+            })
+            .collect();
+        for &(v, p) in &moves {
+            let n = a.node_of_vehicle(v);
+            a.set_pos(n, p);
+        }
+        let stats = b.apply_vehicle_moves(moves.iter().copied());
+        assert_eq!(stats.crossed + stats.in_place, 5);
+        for i in 0..6u32 {
+            assert_eq!(a.pos(NodeId(i)), b.pos(NodeId(i)));
+        }
+        for probe in [Point::ORIGIN, Point::new(25.0, 60.0)] {
+            assert_eq!(
+                a.nodes_within(probe, 80.0, None),
+                b.nodes_within(probe, 80.0, None)
+            );
+        }
     }
 
     #[test]

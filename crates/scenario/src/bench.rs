@@ -67,6 +67,10 @@ pub struct BenchOptions {
     /// Reads the process-wide allocation counter, when the binary compiled one
     /// in (`bench-alloc` feature). `None` leaves `allocs_per_event` unset.
     pub alloc_count: Option<fn() -> u64>,
+    /// Run only the scenario with this exact name (e.g. `hlsrg_shards1`).
+    /// `None` runs the full suite for the scale. Lets CI measure one large
+    /// row without paying for the whole large tier.
+    pub only: Option<String>,
 }
 
 impl Default for BenchOptions {
@@ -78,6 +82,7 @@ impl Default for BenchOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             alloc_count: None,
+            only: None,
         }
     }
 }
@@ -302,6 +307,7 @@ pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// [`BenchScale::Large`] only the shard rows run, on the 10k-vehicle config.
 pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
     let mut measured: Vec<(Measured, Option<u64>, Option<u64>)> = Vec::new();
+    let want = |name: &str| opts.only.as_deref().is_none_or(|only| only == name);
 
     if let Some(fig_scale) = match opts.scale {
         BenchScale::Smoke => Some(FigureScale::Smoke),
@@ -310,25 +316,27 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
     } {
         // The smoke/paper-scale figure sweep: every (map point × protocol ×
         // seed) replication of the Fig 3.3–3.5 vehicle sweep, via the job pool.
-        let sweep_cfgs = sweep_configs(fig_scale);
-        let reps = match fig_scale {
-            FigureScale::Paper => 10,
-            FigureScale::Smoke => 2,
-        };
-        let sweep_jobs: Vec<(SimConfig, Protocol)> = sweep_cfgs
-            .iter()
-            .flat_map(|cfg| Protocol::ALL.map(|p| (cfg.clone(), p)))
-            .collect();
-        measured.push((
-            measure(opts, "figure_sweep", || {
-                replicate_batch(&sweep_jobs, reps, opts.threads)
-                    .into_iter()
-                    .flatten()
-                    .collect()
-            }),
-            None,
-            None,
-        ));
+        if want("figure_sweep") {
+            let sweep_cfgs = sweep_configs(fig_scale);
+            let reps = match fig_scale {
+                FigureScale::Paper => 10,
+                FigureScale::Smoke => 2,
+            };
+            let sweep_jobs: Vec<(SimConfig, Protocol)> = sweep_cfgs
+                .iter()
+                .flat_map(|cfg| Protocol::ALL.map(|p| (cfg.clone(), p)))
+                .collect();
+            measured.push((
+                measure(opts, "figure_sweep", || {
+                    replicate_batch(&sweep_jobs, reps, opts.threads)
+                        .into_iter()
+                        .flatten()
+                        .collect()
+                }),
+                None,
+                None,
+            ));
+        }
 
         // Single paper-headline runs, one per protocol (no replication
         // fan-out, so these isolate the per-event hot path from the pool's
@@ -338,6 +346,9 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
             ("hlsrg_single", Protocol::Hlsrg),
             ("rlsmp_single", Protocol::Rlsmp),
         ] {
+            if !want(name) {
+                continue;
+            }
             let cfg = single.clone();
             measured.push((
                 measure(opts, name, move || {
@@ -359,6 +370,9 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
         ("hlsrg_shards2", 2),
         ("hlsrg_shards4", 4),
     ] {
+        if !want(name) {
+            continue;
+        }
         let cfg = SimConfig {
             shards,
             ..shard_base.clone()
@@ -380,6 +394,9 @@ pub fn run_bench(opts: &BenchOptions, label: &str) -> Vec<BenchRecord> {
         ("hlsrg_shards4_threads2", 2),
         ("hlsrg_shards4_threads4", 4),
     ] {
+        if !want(name) {
+            continue;
+        }
         let cfg = SimConfig {
             shards: 4,
             threads,

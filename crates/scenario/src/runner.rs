@@ -507,13 +507,39 @@ fn drive<L: LocationService>(
     // front, and in-flight radio traffic scales with the fleet (~32 pending
     // events per vehicle covers the observed peaks with headroom).
     let tick_count = (cfg.duration.as_micros() / cfg.mobility.tick.as_micros().max(1)) as usize;
-    let threads = cfg.threads.clamp(1, shards);
+    // Never run more epoch workers than the host has cores: the threaded
+    // backend's barrier hand-off is pure overhead when workers time-share one
+    // core (measured 2686 ms vs 1554 ms on the single-core large tier).
+    // Determinism is unaffected — the pop stream is thread-count-invariant —
+    // so clamping here changes wall clock only.
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(usize::MAX);
+    let threads = cfg.threads.clamp(1, shards).min(hw).max(1);
     let deliveries_cap = cfg.vehicles * 32;
     // Control-plane events (ticks, queries, samplers) all live on shard 0, on
     // top of its delivery share — size it for both so smoke-scale sharded
     // runs stop re-growing their queues mid-run.
     let control_cap = tick_count + cfg.vehicles / 8 + 64;
-    let mut queue: Q<Ev<L::Payload, L::Timer>> = if shards == 1 {
+    let mut queue: Q<Ev<L::Payload, L::Timer>> = if shards == 1 && !lookahead.is_zero() {
+        // One shard still routes through the *inline* epoch executor: its
+        // drain-batched pops cost O(log k) per event under same-instant
+        // bursts, where the serial queue's scan-per-pop path goes quadratic
+        // (the 85 s large-tier hlsrg_shards1 pathology). The pop stream and
+        // sync ledger are identical by construction, so every report,
+        // golden, trace, and telemetry byte is unchanged. The classic serial
+        // queue remains for zero-lookahead configs, which the epoch
+        // machinery (lookahead-paced by design) rejects.
+        Q::Epoch(Box::new(
+            EpochExecutor::with_shard_capacities_and_horizon(
+                1,
+                lookahead,
+                &[tick_count + deliveries_cap + 64],
+                cfg.duration,
+            )
+            .unwrap_or_else(|e| panic!("cannot shard this run: {e}")),
+        ))
+    } else if shards == 1 {
         Q::Serial(
             ShardedQueue::with_capacity_and_horizon(
                 1,
@@ -621,9 +647,12 @@ fn drive<L: LocationService>(
                 let samples = core.timings.time(Phase::MobilityStep, || {
                     model.step(&net, &lights, now, threads)
                 });
+                // One batched pass over the delta stream: only vehicles that
+                // crossed a grid cell touch spatial-index buckets (identical
+                // mutation order to the old per-sample set_pos loop).
+                core.registry
+                    .apply_vehicle_moves(samples.iter().map(|s| (s.id, s.new_pos)));
                 for s in samples {
-                    let node = core.registry.node_of_vehicle(s.id);
-                    core.registry.set_pos(node, s.new_pos);
                     let r = partition.l3_of(s.new_pos).0;
                     let slot = &mut region_of[s.id.0 as usize];
                     if *slot != r {

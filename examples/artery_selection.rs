@@ -47,7 +47,7 @@ fn main() {
     let mut now = SimTime::ZERO;
     for _ in 0..360 {
         model.step(&truth, &lights, now);
-        census.observe(model.vehicles());
+        census.observe(&model.vehicles());
         now += model.config().tick;
     }
 

@@ -135,6 +135,7 @@ commands:
            scenarios and append to   HLSRG_BENCH_SCALE); large = 10k vehicles,
            the perf trajectory       shard-scaling rows only
                                      --reps N  --threads N  --label NAME
+                                     --only SCENARIO (one row, e.g. hlsrg_shards1)
                                      --out FILE (default BENCH_sim.json)
                                      --check FILE (validate a trajectory, no runs)
                                      --compare LABEL (diff newest rows vs that
@@ -875,6 +876,7 @@ fn cmd_bench(flags: &Flags) -> ExitCode {
     };
     opts.reps = get(flags, "reps", opts.reps).max(1);
     opts.threads = get(flags, "threads", opts.threads).max(1);
+    opts.only = flags.get("only").cloned();
     #[cfg(feature = "bench-alloc")]
     {
         opts.alloc_count = Some(counting_alloc::count);
